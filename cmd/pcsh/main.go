@@ -1,0 +1,156 @@
+// Command pcsh is an interactive SQL shell over a predcache database
+// preloaded with a benchmark dataset.
+//
+// Usage:
+//
+//	pcsh [-dataset tpch|tpch-skewed|ssb|tpcds] [-sf 0.01] [-cache range|bitmap|off]
+//
+// Meta commands inside the shell:
+//
+//	\stats          scan counters of the last query
+//	\cache          predicate-cache counters
+//	\entries        list predicate-cache entries
+//	\explain <sql>  show the plan without executing
+//	\tables         list tables
+//	\q              quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	predcache "github.com/predcache/predcache"
+	"github.com/predcache/predcache/internal/ssb"
+	"github.com/predcache/predcache/internal/tpcds"
+	"github.com/predcache/predcache/internal/tpch"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch-skewed", "dataset: tpch, tpch-skewed, ssb, tpcds")
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	cacheKind := flag.String("cache", "bitmap", "predicate cache: range, bitmap, off")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var opts []predcache.Option
+	switch *cacheKind {
+	case "off":
+		opts = append(opts, predcache.WithoutPredicateCache())
+	case "range":
+		opts = append(opts, predcache.WithCacheConfig(predcache.CacheConfig{Kind: predcache.RangeIndex}))
+	case "bitmap":
+		opts = append(opts, predcache.WithCacheConfig(predcache.CacheConfig{Kind: predcache.BitmapIndex}))
+	default:
+		fmt.Fprintf(os.Stderr, "pcsh: unknown cache kind %q\n", *cacheKind)
+		os.Exit(2)
+	}
+	db := predcache.Open(opts...)
+
+	fmt.Printf("loading %s at SF %.3f...\n", *dataset, *sf)
+	if err := load(db, *dataset, *sf, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsh: %v\n", err)
+		os.Exit(1)
+	}
+	for _, name := range db.Catalog().TableNames() {
+		fmt.Printf("  %-12s %d rows\n", name, db.TableRows(name))
+	}
+	fmt.Println(`type SQL terminated by ';', or \q to quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() { fmt.Print("pc> ") }
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, "exit", "quit":
+			return
+		case `\stats`:
+			s := db.LastQueryStats()
+			fmt.Printf("rows scanned %d | qualified %d | blocks accessed %d | skipped %d | cache hits %d misses %d\n",
+				s.RowsScanned, s.RowsQualified, s.BlocksAccessed, s.BlocksSkipped, s.CacheHits, s.CacheMisses)
+			prompt()
+			continue
+		case `\cache`:
+			s := db.CacheStats()
+			fmt.Printf("entries %d | mem %d B | hits %d | misses %d | inserts %d | extends %d | invalidations %d | evictions %d\n",
+				s.Entries, s.MemBytes, s.Hits, s.Misses, s.Inserts, s.Extends, s.Invalidations, s.Evictions)
+			prompt()
+			continue
+		case `\tables`:
+			for _, name := range db.Catalog().TableNames() {
+				fmt.Printf("%-12s %d rows\n", name, db.TableRows(name))
+			}
+			prompt()
+			continue
+		case `\entries`:
+			for _, e := range db.CacheEntries() {
+				kind := e.Kind.String()
+				if e.SemiJoin {
+					kind += "+sj"
+				}
+				fmt.Printf("%-10s %8d rows %8d B  %s\n", kind, e.EstRows, e.MemBytes, truncate(e.Key, 100))
+			}
+			prompt()
+			continue
+		}
+		if strings.HasPrefix(trimmed, `\explain `) {
+			out, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(trimmed, `\explain `), ";"))
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Print(out)
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("  > ")
+			continue
+		}
+		query := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
+		pending.Reset()
+		if query != "" {
+			start := time.Now()
+			res, err := db.Query(query)
+			elapsed := time.Since(start)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			} else {
+				fmt.Print(res.Format(40))
+				fmt.Printf("(%d rows, %v)\n", res.NumRows(), elapsed.Round(time.Microsecond))
+			}
+		}
+		prompt()
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func load(db *predcache.DB, dataset string, sf float64, seed int64) error {
+	cat := db.Catalog()
+	switch dataset {
+	case "tpch":
+		return tpch.Generate(tpch.Config{SF: sf, Seed: seed}).Load(cat, 4)
+	case "tpch-skewed":
+		return tpch.Generate(tpch.Config{SF: sf, Skewed: true, Seed: seed}).Load(cat, 4)
+	case "ssb":
+		return ssb.Generate(ssb.Config{SF: sf, Skewed: true, Seed: seed}).Load(cat, 4)
+	case "tpcds":
+		return tpcds.Generate(tpcds.Config{SF: sf, Skewed: true, Seed: seed}).Load(cat, 4)
+	}
+	return fmt.Errorf("unknown dataset %q", dataset)
+}

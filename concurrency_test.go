@@ -1,0 +1,105 @@
+package predcache_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	predcache "github.com/predcache/predcache"
+)
+
+// TestConcurrentQueriesAndDML hammers one database with parallel readers
+// and writers. Run with -race: it exercises the scan-lock ordering (cache
+// bookkeeping must never nest inside the table read lock) and dictionary
+// snapshotting during bind.
+func TestConcurrentQueriesAndDML(t *testing.T) {
+	db := openWithData(t, 20000)
+	queries := []string{
+		"select count(*) from t where val >= 90",
+		"select grp, sum(val) from t where day between 20050 and 20100 group by grp",
+		"select count(*) from t where grp = 'b' and val < 10",
+		"select max(val) from t where grp like '%a%'",
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+
+	// Readers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, err := db.Query(queries[(w+i)%len(queries)]); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Writer: inserts batches with fresh dictionary values (grows dicts
+	// concurrently with binding readers).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 20; i++ {
+			batch := predcache.NewBatch(predcache.Schema{
+				{Name: "id", Type: predcache.Int64},
+				{Name: "grp", Type: predcache.String},
+				{Name: "val", Type: predcache.Float64},
+				{Name: "day", Type: predcache.Date},
+			})
+			for j := 0; j < 500; j++ {
+				batch.Cols[0].Ints = append(batch.Cols[0].Ints, int64(100000+i*500+j))
+				batch.Cols[1].Strings = append(batch.Cols[1].Strings, fmt.Sprintf("g-%d-%d", i, r.Intn(3)))
+				batch.Cols[2].Floats = append(batch.Cols[2].Floats, float64(r.Intn(100)))
+				batch.Cols[3].Ints = append(batch.Cols[3].Ints, int64(20000+r.Intn(365)))
+			}
+			batch.N = 500
+			if err := db.Insert("t", batch); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// Deleter + vacuumer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			pred, err := predcache.ParseWhere(fmt.Sprintf("val = %d", i))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := db.DeleteWhere("t", pred); err != nil {
+				errCh <- err
+				return
+			}
+			if i%4 == 3 {
+				if err := db.Vacuum("t"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The database must still answer correctly after the storm.
+	res, err := db.Query("select count(*) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Col(0).Ints[0] == 0 {
+		t.Fatal("all rows vanished")
+	}
+}

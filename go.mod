@@ -1,0 +1,3 @@
+module github.com/predcache/predcache
+
+go 1.22

@@ -1,0 +1,535 @@
+// Package automv implements automated materialized views, the second
+// baseline the paper compares against (§3.2): repeating single-table
+// aggregate query templates are detected, a generalized view is created with
+// *predicate elevation* (filter columns move into the view's grouping so
+// later literals can be applied on the view, Figure 8), queries matching the
+// template are rewritten to scan the view, and the view is refreshed —
+// incrementally for append-only histories, by full rebuild otherwise.
+package automv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/sql"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Stats reports AutoMV activity.
+type Stats struct {
+	Hits                 int64
+	Misses               int64
+	ViewsCreated         int64
+	IncrementalRefreshes int64
+	FullRebuilds         int64
+	RefreshRowsScanned   int64
+	MemBytes             int
+}
+
+// View is one automated materialized view.
+type View struct {
+	key       string
+	tableName string
+	table     *storage.Table
+	groupCols []string // base-table column names (incl. elevated filter cols)
+	aggs      []engine.AggSpec
+
+	data        *engine.Relation
+	baseVersion uint64
+	layoutEpoch uint64
+	deleteOps   uint64
+	watermarks  []int
+}
+
+// MemBytes returns the view's stored size.
+func (v *View) MemBytes() int { return v.data.MemBytes() }
+
+// Key returns the template key the view answers.
+func (v *View) Key() string { return v.key }
+
+// Manager detects templates and maintains views.
+type Manager struct {
+	mu        sync.Mutex
+	cat       *storage.Catalog
+	views     map[string]*View
+	observed  map[string]int
+	threshold int
+	stats     Stats
+}
+
+// NewManager creates a manager that materializes a template after it has
+// been observed `threshold` times (the paper's system creates views for
+// "repeating query templates"; threshold 2 means the second occurrence
+// triggers creation).
+func NewManager(cat *storage.Catalog, threshold int) *Manager {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Manager{
+		cat:       cat,
+		views:     make(map[string]*View),
+		observed:  make(map[string]int),
+		threshold: threshold,
+	}
+}
+
+// template describes an eligible statement.
+type template struct {
+	key        string
+	tableName  string
+	groupCols  []string
+	aggs       []engine.AggSpec
+	filter     expr.Pred // original filter (applied over the view on answer)
+	stmtGroup  []string  // the query's own group-by columns
+	selectCols []sqlItem
+}
+
+type sqlItem struct {
+	name   string
+	scalar expr.Scalar // over the view's post-aggregation columns
+}
+
+// Eligible extracts the view template from a statement, or reports false.
+// Requirements: one table, aggregates present, plain column group-by, filter
+// columns elevatable, no HAVING/ORDER BY/LIMIT, no count(distinct).
+func Eligible(stmt *sql.SelectStmt, cat *storage.Catalog) (ok bool, tpl template) {
+	if len(stmt.From) != 1 || stmt.From[0].Alias != "" {
+		return false, tpl
+	}
+	if len(stmt.Having) > 0 || len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
+		return false, tpl
+	}
+	tbl, found := cat.Table(stmt.From[0].Table)
+	if !found {
+		return false, tpl
+	}
+	tpl.tableName = stmt.From[0].Table
+
+	colSet := map[string]bool{}
+	for _, g := range stmt.GroupBy {
+		cr, isCol := g.(*expr.ColRef)
+		if !isCol || tbl.ColumnIndex(cr.Name) < 0 {
+			return false, tpl
+		}
+		colSet[cr.Name] = true
+		tpl.stmtGroup = append(tpl.stmtGroup, cr.Name)
+	}
+	// Predicate elevation: every filter column joins the view's group set.
+	if stmt.Where != nil {
+		for _, c := range stmt.Where.Columns(nil) {
+			if tbl.ColumnIndex(c) < 0 {
+				return false, tpl
+			}
+			colSet[c] = true
+		}
+		tpl.filter = stmt.Where
+	}
+
+	hasAgg := false
+	aggSeen := map[string]bool{}
+	for _, it := range stmt.Items {
+		if len(it.Aggs) == 0 {
+			// Must be a plain group column reference.
+			cr, isCol := it.Scalar.(*expr.ColRef)
+			if !isCol {
+				return false, tpl
+			}
+			inGroup := false
+			for _, g := range tpl.stmtGroup {
+				if g == cr.Name {
+					inGroup = true
+				}
+			}
+			if !inGroup {
+				return false, tpl
+			}
+			name := it.Alias
+			if name == "" {
+				name = cr.Name
+			}
+			tpl.selectCols = append(tpl.selectCols, sqlItem{name: name, scalar: expr.Col(cr.Name)})
+			continue
+		}
+		hasAgg = true
+		for _, call := range it.Aggs {
+			if call.Distinct {
+				return false, tpl
+			}
+			if call.Arg != nil {
+				for _, c := range call.Arg.ScalarColumns(nil) {
+					if tbl.ColumnIndex(c) < 0 {
+						return false, tpl
+					}
+				}
+			}
+			if !aggSeen[call.Name()] {
+				aggSeen[call.Name()] = true
+				tpl.aggs = append(tpl.aggs, viewAggSpecs(call)...)
+			}
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, isCol := it.Scalar.(*expr.ColRef); isCol {
+				name = cr.Name
+			} else {
+				name = it.Scalar.Key()
+			}
+		}
+		tpl.selectCols = append(tpl.selectCols, sqlItem{name: name, scalar: rewriteAggRefs(it.Scalar)})
+	}
+	if !hasAgg {
+		return false, tpl
+	}
+	// Deduplicate view agg specs by name.
+	dedup := map[string]bool{}
+	var aggs []engine.AggSpec
+	for _, a := range tpl.aggs {
+		if !dedup[a.Name] {
+			dedup[a.Name] = true
+			aggs = append(aggs, a)
+		}
+	}
+	tpl.aggs = aggs
+
+	for c := range colSet {
+		tpl.groupCols = append(tpl.groupCols, c)
+	}
+	sort.Strings(tpl.groupCols)
+
+	var aggNames []string
+	for _, a := range tpl.aggs {
+		aggNames = append(aggNames, a.Name)
+	}
+	sort.Strings(aggNames)
+	tpl.key = "mv:" + tpl.tableName + "|group=" + strings.Join(tpl.groupCols, ",") + "|aggs=" + strings.Join(aggNames, ",")
+	return true, tpl
+}
+
+// viewAggSpecs maps a query aggregate to the base aggregates the view must
+// store so results can be re-aggregated after filtering: avg becomes
+// sum+count, count(*) and count(col) become counts, sum/min/max map
+// directly.
+func viewAggSpecs(call *sql.AggCall) []engine.AggSpec {
+	switch call.Func {
+	case engine.AggAvg:
+		return []engine.AggSpec{
+			{Func: engine.AggSum, Arg: call.Arg, Name: "sum(" + call.Arg.Key() + ")"},
+			{Func: engine.AggCount, Name: "count(*)"},
+		}
+	case engine.AggCount:
+		return []engine.AggSpec{{Func: engine.AggCount, Name: "count(*)"}}
+	default:
+		return []engine.AggSpec{{Func: call.Func, Arg: call.Arg, Name: call.Name()}}
+	}
+}
+
+// rewriteAggRefs maps select scalars over query aggregates onto view
+// columns: avg(x) -> sum(x)/count(*), count(x)/count(*) -> count(*).
+func rewriteAggRefs(s expr.Scalar) expr.Scalar {
+	switch t := s.(type) {
+	case *expr.ColRef:
+		name := t.Name
+		if strings.HasPrefix(name, "avg(") {
+			inner := strings.TrimSuffix(strings.TrimPrefix(name, "avg("), ")")
+			return expr.Arith(expr.Col("sum("+inner+")"), expr.Div, expr.Col("count(*)"))
+		}
+		if strings.HasPrefix(name, "count(") {
+			return expr.Col("count(*)")
+		}
+		return t
+	case *expr.ArithScalar:
+		return expr.Arith(rewriteAggRefs(t.L), t.Op, rewriteAggRefs(t.R))
+	case *expr.CaseScalar:
+		return expr.Case(t.Cond, rewriteAggRefs(t.Then), rewriteAggRefs(t.Else))
+	default:
+		return s
+	}
+}
+
+// Observe records a statement; once its template repeats `threshold` times,
+// the view is created. Returns the view when one exists afterwards.
+func (m *Manager) Observe(stmt *sql.SelectStmt) (*View, error) {
+	ok, tpl := Eligible(stmt, m.cat)
+	if !ok {
+		return nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, exists := m.views[tpl.key]; exists {
+		return v, nil
+	}
+	m.observed[tpl.key]++
+	if m.observed[tpl.key] < m.threshold {
+		return nil, nil
+	}
+	v, err := m.buildLocked(tpl)
+	if err != nil {
+		return nil, err
+	}
+	m.views[tpl.key] = v
+	m.stats.ViewsCreated++
+	return v, nil
+}
+
+// buildLocked materializes the view.
+func (m *Manager) buildLocked(tpl template) (*View, error) {
+	tbl, ok := m.cat.Table(tpl.tableName)
+	if !ok {
+		return nil, fmt.Errorf("automv: table %s disappeared", tpl.tableName)
+	}
+	plan := &engine.Agg{
+		Input:   &engine.Scan{Table: tpl.tableName},
+		GroupBy: tpl.groupCols,
+		Aggs:    tpl.aggs,
+	}
+	stats := &storage.ScanStats{}
+	ec := &engine.ExecCtx{Catalog: m.cat, Snapshot: m.cat.Snapshot(), Stats: stats}
+	rel, err := plan.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	m.stats.RefreshRowsScanned += stats.RowsScanned.Load()
+	v := &View{
+		key:         tpl.key,
+		tableName:   tpl.tableName,
+		table:       tbl,
+		groupCols:   tpl.groupCols,
+		aggs:        tpl.aggs,
+		data:        rel,
+		baseVersion: tbl.Version(),
+		layoutEpoch: tbl.LayoutEpoch(),
+		deleteOps:   tbl.DeleteOps(),
+	}
+	v.watermarks = sliceRows(tbl)
+	return v, nil
+}
+
+func sliceRows(tbl *storage.Table) []int {
+	unlock := tbl.RLockScan()
+	defer unlock()
+	out := make([]int, tbl.NumSlices())
+	for i := range out {
+		out[i] = tbl.Slice(i).NumRows()
+	}
+	return out
+}
+
+// TryAnswer answers the statement from a matching view, refreshing it first
+// if the base table changed. ok is false when no view matches.
+func (m *Manager) TryAnswer(stmt *sql.SelectStmt) (*engine.Relation, bool, error) {
+	eligible, tpl := Eligible(stmt, m.cat)
+	if !eligible {
+		return nil, false, nil
+	}
+	m.mu.Lock()
+	v, exists := m.views[tpl.key]
+	if !exists {
+		m.stats.Misses++
+		m.mu.Unlock()
+		return nil, false, nil
+	}
+	if err := m.refreshLocked(v); err != nil {
+		m.mu.Unlock()
+		return nil, false, err
+	}
+	m.stats.Hits++
+	data := v.data
+	m.mu.Unlock()
+
+	// Rewrite: filter the view, re-aggregate to the query's grouping, then
+	// project the select items.
+	var node engine.Node = &engine.Materialized{Rel: data}
+	if tpl.filter != nil {
+		node = &engine.Filter{Input: node, Pred: tpl.filter}
+	}
+	reAgg := &engine.Agg{Input: node, GroupBy: tpl.stmtGroup}
+	for _, a := range tpl.aggs {
+		merged := a
+		merged.Arg = expr.Col(a.Name)
+		switch a.Func {
+		case engine.AggCount:
+			// Counts merge by summation.
+			merged.Func = engine.AggSum
+		case engine.AggSum, engine.AggMin, engine.AggMax:
+			// sum-of-sums / min-of-mins / max-of-maxes.
+		}
+		reAgg.Aggs = append(reAgg.Aggs, merged)
+	}
+	ec := &engine.ExecCtx{Catalog: m.cat, Snapshot: m.cat.Snapshot()}
+	aggRel, err := reAgg.Execute(ec)
+	if err != nil {
+		return nil, false, err
+	}
+	// Counts re-aggregated via SUM come back as floats; restore int typing
+	// before the final projection so count columns keep SQL semantics.
+	coerceCounts(aggRel, tpl.aggs)
+	proj := &engine.Project{Input: &engine.Materialized{Rel: aggRel}}
+	for _, it := range tpl.selectCols {
+		proj.Exprs = append(proj.Exprs, engine.NamedScalar{Expr: it.scalar, Name: it.name})
+	}
+	rel, err := proj.Execute(ec)
+	if err != nil {
+		return nil, false, err
+	}
+	return rel, true, nil
+}
+
+// refreshLocked brings a view up to date: appended rows merge incrementally
+// (the tail beyond each slice watermark is aggregated and folded in);
+// deletes or layout changes force a full rebuild — the expensive path the
+// paper charges MVs for.
+func (m *Manager) refreshLocked(v *View) error {
+	if v.table.Version() == v.baseVersion {
+		return nil
+	}
+	if v.table.LayoutEpoch() != v.layoutEpoch || v.table.DeleteOps() != v.deleteOps {
+		m.stats.FullRebuilds++
+		nv, err := m.buildLocked(template{
+			key: v.key, tableName: v.tableName, groupCols: v.groupCols, aggs: v.aggs,
+		})
+		if err != nil {
+			return err
+		}
+		*v = *nv
+		return nil
+	}
+	// Incremental append refresh.
+	tail, scanned, err := m.tailRelation(v)
+	if err != nil {
+		return err
+	}
+	m.stats.RefreshRowsScanned += int64(scanned)
+	m.stats.IncrementalRefreshes++
+	if tail.NumRows() > 0 {
+		tailAgg := &engine.Agg{Input: &engine.Materialized{Rel: tail}, GroupBy: v.groupCols}
+		tailAgg.Aggs = append(tailAgg.Aggs, v.aggs...)
+		merged := &engine.Agg{
+			Input:   &engine.Union{Inputs: []engine.Node{&engine.Materialized{Rel: v.data}, tailAgg}},
+			GroupBy: v.groupCols,
+		}
+		for _, a := range v.aggs {
+			spec := a
+			spec.Arg = expr.Col(a.Name)
+			if a.Func == engine.AggCount {
+				spec.Func = engine.AggSum
+			}
+			merged.Aggs = append(merged.Aggs, spec)
+		}
+		ec := &engine.ExecCtx{Catalog: m.cat, Snapshot: m.cat.Snapshot()}
+		rel, err := merged.Execute(ec)
+		if err != nil {
+			return err
+		}
+		// Counts merged via sum come back as floats; coerce back to ints.
+		coerceCounts(rel, v.aggs)
+		v.data = rel
+	}
+	v.baseVersion = v.table.Version()
+	v.watermarks = sliceRows(v.table)
+	return nil
+}
+
+// coerceCounts converts float sum-of-count columns back to integer counts.
+func coerceCounts(rel *engine.Relation, aggs []engine.AggSpec) {
+	for _, a := range aggs {
+		if a.Func != engine.AggCount {
+			continue
+		}
+		c := rel.ColByName(a.Name)
+		if c == nil || c.Type != storage.Float64 {
+			continue
+		}
+		ints := make([]int64, len(c.Floats))
+		for i, f := range c.Floats {
+			ints[i] = int64(f + 0.5)
+		}
+		c.Type = storage.Int64
+		c.Ints = ints
+		c.Floats = nil
+	}
+}
+
+// tailRelation materializes the rows appended since the view's watermarks,
+// restricted to the columns the view needs.
+func (m *Manager) tailRelation(v *View) (*engine.Relation, int, error) {
+	needed := map[string]bool{}
+	for _, g := range v.groupCols {
+		needed[g] = true
+	}
+	for _, a := range v.aggs {
+		if a.Arg != nil {
+			for _, c := range a.Arg.ScalarColumns(nil) {
+				needed[c] = true
+			}
+		}
+	}
+	var cols []string
+	for c := range needed {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+
+	tbl := v.table
+	unlock := tbl.RLockScan()
+	defer unlock()
+	outCols := make([]engine.RelCol, len(cols))
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := tbl.ColumnIndex(c)
+		if ci < 0 {
+			return nil, 0, fmt.Errorf("automv: column %s missing", c)
+		}
+		colIdx[i] = ci
+		outCols[i] = engine.RelCol{Name: c, Type: tbl.ColumnType(ci), Dict: tbl.Dict(ci)}
+	}
+	scanned := 0
+	iScratch := make([]int64, storage.BlockSize)
+	fScratch := make([]float64, storage.BlockSize)
+	for si := 0; si < tbl.NumSlices(); si++ {
+		s := tbl.Slice(si)
+		start := 0
+		if si < len(v.watermarks) {
+			start = v.watermarks[si]
+		}
+		for row := start; row < s.NumRows(); row++ {
+			scanned++
+			for i, ci := range colIdx {
+				col := s.Column(ci)
+				if outCols[i].Type == storage.Float64 {
+					outCols[i].Floats = append(outCols[i].Floats, col.FloatAt(row, fScratch))
+				} else {
+					outCols[i].Ints = append(outCols[i].Ints, col.IntAt(row, iScratch))
+				}
+			}
+		}
+	}
+	rel, err := engine.NewRelation(outCols)
+	return rel, scanned, err
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	for _, v := range m.views {
+		s.MemBytes += v.MemBytes()
+	}
+	return s
+}
+
+// ViewFor returns the view matching the statement's template, if any.
+func (m *Manager) ViewFor(stmt *sql.SelectStmt) (*View, bool) {
+	ok, tpl := Eligible(stmt, m.cat)
+	if !ok {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, exists := m.views[tpl.key]
+	return v, exists
+}

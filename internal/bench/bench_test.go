@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fastRunner() (*Runner, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return NewRunner(FastConfig(), &buf), &buf
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r, _ := fastRunner()
+	if err := r.Run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 17 {
+		t.Fatalf("%d experiments", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Each experiment must run at fast scale and produce non-trivial output.
+func TestFleetExperiments(t *testing.T) {
+	r, buf := fastRunner()
+	for _, id := range []string{"fig1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"} {
+		buf.Reset()
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() < 50 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"B-tree", "zone map", "result cache", "AutoMV", "predicate cache (range)", "predicate cache (bitmap)", "predicate sorting"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"result cache", "AutoMV", "sorting", "predicate cache", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadFigures(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("fig13"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hit rate") {
+		t.Fatal("fig13 output")
+	}
+	buf.Reset()
+	if err := r.Run("fig14"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "distinct 401") {
+		t.Fatalf("fig14 output:\n%s", buf.String())
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("fig15"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "average overhead") {
+		t.Fatal("fig15 output")
+	}
+}
+
+func TestTable4AndFig18(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("table4"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Orig.", "PC-bitmap", "PC-range", "PSort", "Q19", "geo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table4 missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := r.Run("fig18"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PS+PC") {
+		t.Fatal("fig18 output")
+	}
+}
+
+func TestFig16AndFig17(t *testing.T) {
+	r, buf := fastRunner()
+	if err := r.Run("fig16"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "semi-join") {
+		t.Fatal("fig16 output")
+	}
+	buf.Reset()
+	if err := r.Run("fig17"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TPC-DS", "SSB", "uniform"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig17 missing %q", want)
+		}
+	}
+}

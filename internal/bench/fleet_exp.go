@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"github.com/predcache/predcache/internal/fleet"
+)
+
+func (r *Runner) fleetSim() *fleet.Fleet {
+	return fleet.Simulate(fleet.Config{
+		Clusters:      r.Cfg.FleetSize,
+		MinStatements: 1000,
+		MaxStatements: 5000,
+		Seed:          2023,
+	})
+}
+
+var cdfPercentiles = []int{0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+func (r *Runner) printCDF(label string, values []float64) {
+	r.printf("%-34s", label)
+	for _, v := range fleet.CDF(values, cdfPercentiles) {
+		r.printf(" %5.2f", v)
+	}
+	r.printf("\n")
+}
+
+// Fig1 reports the per-cluster query repetition CDF for a month and a week.
+func (r *Runner) Fig1() error {
+	f := r.fleetSim()
+	r.printf("== Figure 1: %% of queries that repeat per cluster ==\n")
+	r.printf("%-34s", "percentile")
+	for _, p := range cdfPercentiles {
+		r.printf(" %4d%%", p)
+	}
+	r.printf("\n")
+	month := f.QueryRepetitionRates(1.0)
+	week := f.QueryRepetitionRates(0.25)
+	r.printCDF("repeat rate (1 month)", month)
+	r.printCDF("repeat rate (1 week)", week)
+	r.printf("mean month=%.3f week=%.3f | clusters with >=75%% repeats: %.0f%% (paper: >50%%)\n\n",
+		fleet.Mean(month), fleet.Mean(week), 100*fleet.FractionAbove(month, 0.75))
+	return nil
+}
+
+// Fig2 reports per-cluster select-share distribution.
+func (r *Runner) Fig2() error {
+	f := r.fleetSim()
+	_, selectShares := f.StatementMix()
+	r.printf("== Figure 2: statement mix per cluster ==\n")
+	r.printf("%-34s", "percentile")
+	for _, p := range cdfPercentiles {
+		r.printf(" %4d%%", p)
+	}
+	r.printf("\n")
+	r.printCDF("select share of statements", selectShares)
+	r.printf("clusters where selects dominate (>50%%): %.0f%% (paper: ~25%%)\n\n",
+		100*fleet.FractionAbove(selectShares, 0.5))
+	return nil
+}
+
+// Table2 reports the fleet-aggregate statement mix.
+func (r *Runner) Table2() error {
+	f := r.fleetSim()
+	agg, _ := f.StatementMix()
+	r.printf("== Table 2: SQL statements run on the clusters over one month ==\n")
+	r.printf("%-10s %10s %10s\n", "type", "measured", "paper")
+	paper := map[string]float64{
+		"select": 42.3, "insert": 17.8, "copy": 6.9, "delete": 6.3, "update": 3.6, "other": 23.3,
+	}
+	for _, k := range []string{"select", "insert", "copy", "delete", "update", "other"} {
+		r.printf("%-10s %9.1f%% %9.1f%%\n", k, 100*agg[k], paper[k])
+	}
+	r.printf("\n")
+	return nil
+}
+
+// Fig3 reports write/read ratios per cluster.
+func (r *Runner) Fig3() error {
+	f := r.fleetSim()
+	ratios := f.ReadWriteRatios()
+	readHeavy := 0
+	for _, v := range ratios {
+		if v < 1 {
+			readHeavy++
+		}
+	}
+	r.printf("== Figure 3: data-manipulation vs select statements per cluster ==\n")
+	r.printf("%-34s", "percentile")
+	for _, p := range cdfPercentiles {
+		r.printf(" %4d%%", p)
+	}
+	r.printf("\n")
+	r.printCDF("write/read statement ratio", ratios)
+	r.printf("read-heavy clusters (ratio<1): %.0f%% (paper: ~60%%)\n\n",
+		100*float64(readHeavy)/float64(len(ratios)))
+	return nil
+}
+
+// Fig4 compares query and scan repetition per cluster.
+func (r *Runner) Fig4() error {
+	f := r.fleetSim()
+	q := f.QueryRepetitionRates(1.0)
+	s := f.ScanRepetitionRates()
+	r.printf("== Figure 4: query vs scan repetition per cluster ==\n")
+	r.printf("%-34s", "percentile")
+	for _, p := range cdfPercentiles {
+		r.printf(" %4d%%", p)
+	}
+	r.printf("\n")
+	r.printCDF("query repeat rate", q)
+	r.printCDF("scan repeat rate", s)
+	r.printf("means: queries %.1f%%, scans %.1f%% (paper: 71.2%% / 71.9%%)\n\n",
+		100*fleet.Mean(q), 100*fleet.Mean(s))
+	return nil
+}
+
+// Fig5 reports repetition grouped by scanned-table size.
+func (r *Runner) Fig5() error {
+	f := r.fleetSim()
+	qRates, sRates := f.RepetitionByTableSize()
+	r.printf("== Figure 5: repetition by scanned-table size ==\n")
+	r.printf("%-18s %12s %12s\n", "table size", "queries", "scans")
+	for s := fleet.SizeClass(0); s < 4; s++ {
+		r.printf("%-18s %11.1f%% %11.1f%%\n", s, 100*qRates[s], 100*sRates[s])
+	}
+	r.printf("(paper: scan repetition roughly uniform across sizes;\n")
+	r.printf(" queries on the largest tables repeat less)\n\n")
+	return nil
+}
+
+// Fig6 reports the result-cache hit-rate CDF.
+func (r *Runner) Fig6() error {
+	f := r.fleetSim()
+	rates := f.ResultCacheHitRates()
+	r.printf("== Figure 6: result-cache hit rate per cluster ==\n")
+	r.printf("%-34s", "percentile")
+	for _, p := range cdfPercentiles {
+		r.printf(" %4d%%", p)
+	}
+	r.printf("\n")
+	r.printCDF("result-cache hit rate", rates)
+	r.printf("mean %.1f%% | clusters over 50%%: %.0f%% (paper: ~20%% mean, ~15%% over 50%%)\n\n",
+		100*fleet.Mean(rates), 100*fleet.FractionAbove(rates, 0.5))
+	return nil
+}
+
+// Fig7 correlates hit rate with update rate.
+func (r *Runner) Fig7() error {
+	f := r.fleetSim()
+	upd, hit := f.HitRateVsUpdateRate()
+	r.printf("== Figure 7: result-cache hit rate vs update rate ==\n")
+	r.printf("%-22s %10s %10s\n", "update share bucket", "clusters", "hit rate")
+	buckets := []struct {
+		lo, hi float64
+		label  string
+	}{
+		{0, 0.05, "0-5%"}, {0.05, 0.15, "5-15%"}, {0.15, 0.3, "15-30%"},
+		{0.3, 0.5, "30-50%"}, {0.5, 1.01, ">50%"},
+	}
+	for _, b := range buckets {
+		var rates []float64
+		for i := range upd {
+			if upd[i] >= b.lo && upd[i] < b.hi {
+				rates = append(rates, hit[i])
+			}
+		}
+		r.printf("%-22s %10d %9.1f%%  %s\n", b.label, len(rates), 100*fleet.Mean(rates), bar(fleet.Mean(rates), 30))
+	}
+	r.printf("(paper: >80%% hit rate with almost no updates, dropping sharply with update rate)\n\n")
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package bloom implements the blocked Bloom filter Redshift-style semi-join
+// filters are built from (§4.4): the build side of a hash join inserts its
+// join keys, and the probe-side table scan tests membership to eliminate
+// rows without a join partner early.
+package bloom
+
+import "math"
+
+// Filter is a blocked Bloom filter over 64-bit keys. Each key sets k bits
+// inside one 64-byte block (8 words), giving cache-friendly probes. The zero
+// value is not usable; call New.
+type Filter struct {
+	words     []uint64 // numBlocks * 8
+	numBlocks uint64
+	k         int
+	inserted  int
+}
+
+const wordsPerBlock = 8
+
+// New creates a filter sized for n keys at the given false-positive rate.
+func New(n int, fpRate float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	// Standard sizing; blocked filters need slightly more bits for the same
+	// rate, so pad by 20%.
+	bits := float64(n) * math.Log(fpRate) / (math.Log(2) * math.Log(2)) * -1.2
+	numBlocks := uint64(math.Ceil(bits / (64 * wordsPerBlock)))
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	k := int(math.Round(bits / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 8 {
+		k = 8
+	}
+	return &Filter{
+		words:     make([]uint64, numBlocks*wordsPerBlock),
+		numBlocks: numBlocks,
+		k:         k,
+	}
+}
+
+// mix64 is SplitMix64's finalizer: a fast, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a key.
+func (f *Filter) Add(key uint64) {
+	h := mix64(key)
+	block := (h % f.numBlocks) * wordsPerBlock
+	// Derive k bit positions within the 512-bit block from the upper hash
+	// bits; each position needs 9 bits.
+	g := mix64(h)
+	for i := 0; i < f.k; i++ {
+		pos := g & 511
+		g >>= 9
+		if g == 0 {
+			g = mix64(h + uint64(i) + 1)
+		}
+		f.words[block+pos>>6] |= 1 << (pos & 63)
+	}
+	f.inserted++
+}
+
+// MayContain reports whether key may have been inserted. False negatives
+// never occur.
+func (f *Filter) MayContain(key uint64) bool {
+	h := mix64(key)
+	block := (h % f.numBlocks) * wordsPerBlock
+	g := mix64(h)
+	for i := 0; i < f.k; i++ {
+		pos := g & 511
+		g >>= 9
+		if g == 0 {
+			g = mix64(h + uint64(i) + 1)
+		}
+		if f.words[block+pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AddInt inserts a signed key.
+func (f *Filter) AddInt(key int64) { f.Add(uint64(key)) }
+
+// MayContainInt tests a signed key.
+func (f *Filter) MayContainInt(key int64) bool { return f.MayContain(uint64(key)) }
+
+// Inserted returns the number of Add calls.
+func (f *Filter) Inserted() int { return f.inserted }
+
+// MemBytes returns the filter's payload size in bytes.
+func (f *Filter) MemBytes() int { return len(f.words) * 8 }

@@ -1,0 +1,96 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 0.01)
+	r := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if f.Inserted() != len(keys) {
+		t.Fatalf("inserted %d", f.Inserted())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(50000, 0.01)
+	r := rand.New(rand.NewSource(2))
+	present := make(map[uint64]bool, 50000)
+	for i := 0; i < 50000; i++ {
+		k := r.Uint64()
+		present[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if present[k] {
+			continue
+		}
+		if f.MayContain(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestSignedKeys(t *testing.T) {
+	f := New(100, 0.01)
+	f.AddInt(-42)
+	f.AddInt(0)
+	if !f.MayContainInt(-42) || !f.MayContainInt(0) {
+		t.Fatal("false negative on signed keys")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		f := New(n, 0.01)
+		f.Add(7)
+		if !f.MayContain(7) {
+			t.Fatalf("n=%d: false negative", n)
+		}
+	}
+	f := New(100, 2.0) // bad rate falls back
+	f.Add(1)
+	if !f.MayContain(1) {
+		t.Fatal("bad-rate filter broken")
+	}
+	if f.MemBytes() <= 0 {
+		t.Fatal("MemBytes")
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := func(keys []uint64) bool {
+		fl := New(len(keys), 0.01)
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package btree implements an in-memory B+-tree secondary index mapping
+// int64 keys to row identifiers. It exists as the conventional
+// secondary-index baseline of the paper's memory-consumption comparison
+// (Table 3): cloud warehouses avoid such indexes because they grow with the
+// data — this implementation lets the benchmark measure exactly how much.
+package btree
+
+const (
+	// order is the maximum number of keys per node.
+	order = 64
+)
+
+// RowID identifies one row: the slice number and the row number within it.
+type RowID struct {
+	Slice int32
+	Row   int32
+}
+
+type leaf struct {
+	keys []int64
+	vals [][]RowID
+	next *leaf
+}
+
+type inner struct {
+	keys     []int64 // separators: children[i] holds keys < keys[i]
+	children []node
+}
+
+type node interface{ isNode() }
+
+func (*leaf) isNode()  {}
+func (*inner) isNode() {}
+
+// Tree is a B+-tree multimap from int64 keys to RowIDs.
+type Tree struct {
+	root   node
+	size   int
+	height int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}, height: 1}
+}
+
+// Len returns the number of inserted (key, row) pairs.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds a (key, row) pair. Duplicate keys accumulate rows.
+func (t *Tree) Insert(key int64, row RowID) {
+	newChild, sepKey := t.insert(t.root, key, row)
+	if newChild != nil {
+		t.root = &inner{keys: []int64{sepKey}, children: []node{t.root, newChild}}
+		t.height++
+	}
+	t.size++
+}
+
+// insert descends to the leaf; on split it returns the new right sibling and
+// the separator key.
+func (t *Tree) insert(n node, key int64, row RowID) (node, int64) {
+	switch nd := n.(type) {
+	case *leaf:
+		i := lowerBound(nd.keys, key)
+		if i < len(nd.keys) && nd.keys[i] == key {
+			nd.vals[i] = append(nd.vals[i], row)
+			return nil, 0
+		}
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.vals = append(nd.vals, nil)
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.vals[i] = []RowID{row}
+		if len(nd.keys) <= order {
+			return nil, 0
+		}
+		// Split.
+		mid := len(nd.keys) / 2
+		right := &leaf{
+			keys: append([]int64(nil), nd.keys[mid:]...),
+			vals: append([][]RowID(nil), nd.vals[mid:]...),
+			next: nd.next,
+		}
+		nd.keys = nd.keys[:mid]
+		nd.vals = nd.vals[:mid]
+		nd.next = right
+		return right, right.keys[0]
+	case *inner:
+		ci := upperBound(nd.keys, key)
+		newChild, sepKey := t.insert(nd.children[ci], key, row)
+		if newChild == nil {
+			return nil, 0
+		}
+		nd.keys = append(nd.keys, 0)
+		copy(nd.keys[ci+1:], nd.keys[ci:])
+		nd.keys[ci] = sepKey
+		nd.children = append(nd.children, nil)
+		copy(nd.children[ci+2:], nd.children[ci+1:])
+		nd.children[ci+1] = newChild
+		if len(nd.children) <= order+1 {
+			return nil, 0
+		}
+		// Split inner node: middle key moves up.
+		mid := len(nd.keys) / 2
+		up := nd.keys[mid]
+		right := &inner{
+			keys:     append([]int64(nil), nd.keys[mid+1:]...),
+			children: append([]node(nil), nd.children[mid+1:]...),
+		}
+		nd.keys = nd.keys[:mid]
+		nd.children = nd.children[:mid+1]
+		return right, up
+	}
+	panic("btree: unknown node type")
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index with keys[i] > key.
+func upperBound(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would contain key.
+func (t *Tree) findLeaf(key int64) *leaf {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *leaf:
+			return nd
+		case *inner:
+			n = nd.children[upperBound(nd.keys, key)]
+		}
+	}
+}
+
+// Lookup returns the rows stored under key.
+func (t *Tree) Lookup(key int64) []RowID {
+	lf := t.findLeaf(key)
+	i := lowerBound(lf.keys, key)
+	if i < len(lf.keys) && lf.keys[i] == key {
+		return lf.vals[i]
+	}
+	return nil
+}
+
+// Range calls fn for every (key, row) pair with lo <= key <= hi, in key
+// order; fn returning false stops the iteration.
+func (t *Tree) Range(lo, hi int64, fn func(key int64, row RowID) bool) {
+	lf := t.findLeaf(lo)
+	for lf != nil {
+		for i, k := range lf.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			for _, r := range lf.vals[i] {
+				if !fn(k, r) {
+					return
+				}
+			}
+		}
+		lf = lf.next
+	}
+}
+
+// MemBytes approximates the index's memory footprint: key/value storage plus
+// per-node and per-entry overhead. This is what Table 3 reports for the
+// B-tree row.
+func (t *Tree) MemBytes() int {
+	total := 0
+	var walk func(n node)
+	walk = func(n node) {
+		switch nd := n.(type) {
+		case *leaf:
+			total += 48 + cap(nd.keys)*8
+			for _, v := range nd.vals {
+				total += 24 + cap(v)*8
+			}
+		case *inner:
+			total += 48 + cap(nd.keys)*8 + cap(nd.children)*16
+			for _, c := range nd.children {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// checkInvariants validates ordering and balance; used by tests.
+func (t *Tree) checkInvariants() error {
+	_, err := checkNode(t.root, t.height, 1)
+	return err
+}
+
+type invariantError string
+
+func (e invariantError) Error() string { return string(e) }
+
+func checkNode(n node, height, depth int) (int, error) {
+	switch nd := n.(type) {
+	case *leaf:
+		if depth != height {
+			return 0, invariantError("leaves at different depths")
+		}
+		for i := 1; i < len(nd.keys); i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				return 0, invariantError("leaf keys unsorted")
+			}
+		}
+		return len(nd.keys), nil
+	case *inner:
+		if len(nd.children) != len(nd.keys)+1 {
+			return 0, invariantError("inner fanout mismatch")
+		}
+		for i := 1; i < len(nd.keys); i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				return 0, invariantError("inner keys unsorted")
+			}
+		}
+		total := 0
+		for _, c := range nd.children {
+			n, err := checkNode(c, height, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	}
+	return 0, invariantError("unknown node")
+}

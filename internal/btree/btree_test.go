@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	r := rand.New(rand.NewSource(1))
+	ref := make(map[int64][]RowID)
+	for i := 0; i < 20000; i++ {
+		k := int64(r.Intn(5000))
+		row := RowID{Slice: int32(i % 4), Row: int32(i)}
+		tr.Insert(k, row)
+		ref[k] = append(ref[k], row)
+	}
+	if tr.Len() != 20000 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range ref {
+		got := tr.Lookup(k)
+		if len(got) != len(want) {
+			t.Fatalf("key %d: %d rows want %d", k, len(got), len(want))
+		}
+	}
+	if tr.Lookup(99999) != nil {
+		t.Fatal("phantom key")
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree did not grow: height %d", tr.Height())
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(int64(i*2), RowID{Row: int32(i)}) // even keys
+	}
+	var got []int64
+	tr.Range(100, 200, func(k int64, _ RowID) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("range returned %d keys", len(got))
+	}
+	if got[0] != 100 || got[50] != 200 {
+		t.Fatalf("range bounds wrong: %d..%d", got[0], got[len(got)-1])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("range not sorted")
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 1<<40, func(int64, RowID) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+	// Empty range.
+	tr.Range(101, 101, func(int64, RowID) bool {
+		t.Fatal("odd key matched")
+		return true
+	})
+}
+
+func TestSequentialAndReverseInsert(t *testing.T) {
+	for name, gen := range map[string]func(i int) int64{
+		"asc":  func(i int) int64 { return int64(i) },
+		"desc": func(i int) int64 { return int64(100000 - i) },
+	} {
+		tr := New()
+		for i := 0; i < 50000; i++ {
+			tr.Insert(gen(i), RowID{Row: int32(i)})
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Full range must return everything in order.
+		prev := int64(-1 << 62)
+		n := 0
+		tr.Range(-1<<62, 1<<62, func(k int64, _ RowID) bool {
+			if k < prev {
+				t.Fatalf("%s: out of order", name)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if n != 50000 {
+			t.Fatalf("%s: range saw %d", name, n)
+		}
+	}
+}
+
+func TestMemBytesGrowsWithData(t *testing.T) {
+	small := New()
+	for i := 0; i < 100; i++ {
+		small.Insert(int64(i), RowID{})
+	}
+	big := New()
+	for i := 0; i < 100000; i++ {
+		big.Insert(int64(i), RowID{})
+	}
+	if big.MemBytes() <= small.MemBytes() {
+		t.Fatal("MemBytes does not grow")
+	}
+	// Roughly linear: at least 8 bytes per key.
+	if big.MemBytes() < 100000*8 {
+		t.Fatalf("MemBytes suspiciously small: %d", big.MemBytes())
+	}
+}
+
+func TestLookupMatchesLinearScanQuick(t *testing.T) {
+	f := func(keys []int16, probe int16) bool {
+		tr := New()
+		ref := make(map[int64]int)
+		for i, k := range keys {
+			tr.Insert(int64(k), RowID{Row: int32(i)})
+			ref[int64(k)]++
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		return len(tr.Lookup(int64(probe))) == ref[int64(probe)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

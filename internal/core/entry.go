@@ -1,0 +1,113 @@
+package core
+
+import "github.com/predcache/predcache/internal/storage"
+
+// EntryKind selects the physical representation of cached qualifying rows.
+type EntryKind uint8
+
+const (
+	// RangeIndex stores a bounded list of row ranges per slice (§4.1.1).
+	RangeIndex EntryKind = iota
+	// BitmapIndex stores one bit per block of rows per slice (§4.1.2).
+	BitmapIndex
+)
+
+func (k EntryKind) String() string {
+	if k == BitmapIndex {
+		return "bitmap"
+	}
+	return "range"
+}
+
+// sliceEntry holds the cached qualifying rows of one data slice.
+type sliceEntry struct {
+	// watermark is the number of rows of the slice that the entry covers;
+	// rows appended later are scanned normally and merged in (§4.3.1).
+	watermark int
+	ranges    []storage.RowRange // RangeIndex
+	bitmap    []uint64           // BitmapIndex: bit per rowsPerBlock rows
+	estRows   int                // rows covered (before false-positive removal)
+}
+
+// entry is one cached scan expression.
+type entry struct {
+	key         string
+	table       *storage.Table
+	layoutEpoch uint64
+	deps        []BuildDep
+	kind        EntryKind
+	slices      []sliceEntry
+	mem         int
+
+	// LRU bookkeeping (owned by Cache).
+	lruPrev, lruNext *entry
+}
+
+func (e *entry) stale() bool {
+	if e.table.LayoutEpoch() != e.layoutEpoch {
+		return true
+	}
+	for _, d := range e.deps {
+		if d.Stale() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *entry) estRows() int {
+	n := 0
+	for i := range e.slices {
+		n += e.slices[i].estRows
+	}
+	return n
+}
+
+func (e *entry) memBytes() int {
+	n := 128 + len(e.key) // struct + key overhead
+	for i := range e.slices {
+		n += 64 + len(e.slices[i].ranges)*16 + len(e.slices[i].bitmap)*8
+	}
+	return n
+}
+
+// bitmapSet sets the block bits covering rows [start, end).
+func bitmapSet(bits []uint64, start, end, rowsPerBlock int) {
+	if end <= start {
+		return
+	}
+	fromBlk := start / rowsPerBlock
+	toBlk := (end - 1) / rowsPerBlock
+	for b := fromBlk; b <= toBlk; b++ {
+		bits[b>>6] |= 1 << (b & 63)
+	}
+}
+
+// bitmapRanges expands the set bits into row ranges clipped to limit rows.
+func bitmapRanges(bits []uint64, rowsPerBlock, limit int) []storage.RowRange {
+	var out []storage.RowRange
+	numBlocks := (limit + rowsPerBlock - 1) / rowsPerBlock
+	runStart := -1
+	for b := 0; b < numBlocks; b++ {
+		set := bits[b>>6]&(1<<(b&63)) != 0
+		if set && runStart < 0 {
+			runStart = b
+		}
+		if !set && runStart >= 0 {
+			out = append(out, storage.RowRange{Start: runStart * rowsPerBlock, End: b * rowsPerBlock})
+			runStart = -1
+		}
+	}
+	if runStart >= 0 {
+		end := numBlocks * rowsPerBlock
+		if end > limit {
+			end = limit
+		}
+		out = append(out, storage.RowRange{Start: runStart * rowsPerBlock, End: end})
+	}
+	// Clip the last range to the limit (it may end mid-block).
+	if n := len(out); n > 0 && out[n-1].End > limit {
+		out[n-1].End = limit
+	}
+	return out
+}

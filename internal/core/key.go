@@ -1,0 +1,75 @@
+// Package core implements the predicate cache, the paper's primary
+// contribution (§4): a query-driven secondary index mapping base-table scan
+// expressions — optionally including semi-join filters — to the row ranges
+// that qualified when the scan last ran.
+//
+// Entries are built on the fly as a side product of scanning (§4.2.3), are
+// kept per data slice (§4.1), survive inserts via per-slice append
+// watermarks (§4.3.1), survive deletes and updates because row numbers do
+// not change (§4.3.2/§4.3.3), and are invalidated lazily when a table's
+// physical layout epoch changes (vacuum) or when a semi-join build side
+// changes (§4.4).
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// SemiJoinKey describes one semi-join filter applied during a scan. The
+// cache key must identify the join predicate and the entire build side —
+// its table and filter — so that an entry only matches a future scan with
+// an identical semi-join filter (§4.4).
+type SemiJoinKey struct {
+	// JoinPred is the canonical join condition, e.g. "(= o_orderkey l_orderkey)".
+	JoinPred string
+	// BuildKey is the canonical scan key of the build side (recursively
+	// including its own filters and semi-joins).
+	BuildKey string
+}
+
+// Key identifies a cached scan expression.
+type Key struct {
+	Table     string
+	Predicate string // canonical predicate text (expr.Pred.Key())
+	SemiJoins []SemiJoinKey
+}
+
+// String renders the key in a canonical, order-independent form, mirroring
+// the XML-ish key sketched in §4.4 of the paper.
+func (k Key) String() string {
+	var b strings.Builder
+	b.WriteString("<scan table=")
+	b.WriteString(k.Table)
+	b.WriteString(" pred=")
+	b.WriteString(k.Predicate)
+	if len(k.SemiJoins) > 0 {
+		parts := make([]string, len(k.SemiJoins))
+		for i, sj := range k.SemiJoins {
+			parts[i] = "<semijoin pred=" + sj.JoinPred + " build=" + sj.BuildKey + ">"
+		}
+		sort.Strings(parts)
+		b.WriteString(" sj=[")
+		b.WriteString(strings.Join(parts, " "))
+		b.WriteString("]")
+	}
+	b.WriteString(">")
+	return b.String()
+}
+
+// HasSemiJoin reports whether the key includes semi-join filters.
+func (k Key) HasSemiJoin() bool { return len(k.SemiJoins) > 0 }
+
+// BuildDep records a dependency of a cached entry on the state of a build-
+// side table: if that table's DML version moves, the entry is stale (§4.4's
+// "entries with a semi-join filter are invalidated by inserts, deletes, and
+// updates on the build side of the join").
+type BuildDep struct {
+	Table   *storage.Table
+	Version uint64
+}
+
+// Stale reports whether the dependency has been invalidated.
+func (d BuildDep) Stale() bool { return d.Table.Version() != d.Version }

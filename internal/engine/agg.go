@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	min, max float64
+	minI     int64
+	maxI     int64
+	distinct map[int64]struct{}
+	seen     bool
+}
+
+// Execute performs hash aggregation.
+func (a *Agg) Execute(ec *ExecCtx) (*Relation, error) {
+	in, err := a.Input.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bind group-by columns.
+	groupCols := make([]*RelCol, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		c := in.ColByName(g)
+		if c == nil {
+			return nil, fmt.Errorf("engine: group-by column %q not found", g)
+		}
+		groupCols[i] = c
+	}
+
+	// Bind and evaluate aggregate inputs over the whole relation.
+	ctx := in.blockCtx()
+	sel := make([]int, in.NumRows())
+	for i := range sel {
+		sel[i] = i
+	}
+	type boundAgg struct {
+		spec   AggSpec
+		vals   []float64 // evaluated input (nil for count(*))
+		intArg bool      // min/max preserve integer typing
+		ivals  []int64
+		outTyp storage.ColumnType
+		dict   *storage.Dict
+	}
+	baggs := make([]*boundAgg, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		ba := &boundAgg{spec: spec, outTyp: storage.Float64}
+		if spec.Func == AggCount && spec.Arg == nil {
+			ba.outTyp = storage.Int64
+		} else {
+			bs, err := expr.BindScalar(spec.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			switch spec.Func {
+			case AggCount, AggCountDistinct:
+				ba.outTyp = storage.Int64
+				ba.ivals = make([]int64, in.NumRows())
+				if bs.Out().IsInt() {
+					bs.EvalI(ctx, sel, ba.ivals)
+				} else {
+					fv := make([]float64, in.NumRows())
+					bs.EvalF(ctx, sel, fv)
+					for k, v := range fv {
+						ba.ivals[k] = int64(math.Float64bits(v))
+					}
+				}
+			case AggMin, AggMax:
+				if bs.Out().IsInt() {
+					ba.intArg = true
+					ba.outTyp = bs.Out()
+					if cr, ok := spec.Arg.(*expr.ColRef); ok {
+						if c := in.ColByName(cr.Name); c != nil {
+							ba.dict = c.Dict
+						}
+					}
+					ba.ivals = make([]int64, in.NumRows())
+					bs.EvalI(ctx, sel, ba.ivals)
+				} else {
+					ba.vals = make([]float64, in.NumRows())
+					bs.EvalF(ctx, sel, ba.vals)
+				}
+			default: // sum, avg
+				ba.vals = make([]float64, in.NumRows())
+				bs.EvalF(ctx, sel, ba.vals)
+			}
+		}
+		baggs[i] = ba
+	}
+
+	// Group rows.
+	type group struct {
+		firstRow int
+		states   []aggState
+	}
+	newGroup := func(row int) *group {
+		return &group{firstRow: row, states: make([]aggState, len(baggs))}
+	}
+
+	var groups []*group
+	singleInt := len(groupCols) == 1 && groupCols[0].Type != storage.Float64
+	intGroups := map[int64]*group{}
+	byteGroups := map[string]*group{}
+	var scratch []byte
+	if len(groupCols) == 0 {
+		groups = append(groups, newGroup(-1))
+	}
+	groupOf := func(row int) *group {
+		if len(groupCols) == 0 {
+			return groups[0]
+		}
+		if singleInt {
+			k := groupCols[0].Ints[row]
+			g, ok := intGroups[k]
+			if !ok {
+				g = newGroup(row)
+				intGroups[k] = g
+				groups = append(groups, g)
+			}
+			return g
+		}
+		scratch = scratch[:0]
+		var buf [8]byte
+		for _, c := range groupCols {
+			switch c.Type {
+			case storage.Float64:
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.Floats[row]))
+				scratch = append(scratch, buf[:]...)
+			case storage.String:
+				s := c.Dict.Value(c.Ints[row])
+				binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
+				scratch = append(scratch, buf[:4]...)
+				scratch = append(scratch, s...)
+			default:
+				binary.LittleEndian.PutUint64(buf[:], uint64(c.Ints[row]))
+				scratch = append(scratch, buf[:]...)
+			}
+		}
+		g, ok := byteGroups[string(scratch)]
+		if !ok {
+			g = newGroup(row)
+			byteGroups[string(scratch)] = g
+			groups = append(groups, g)
+		}
+		return g
+	}
+
+	for row := 0; row < in.NumRows(); row++ {
+		g := groupOf(row)
+		for i, ba := range baggs {
+			st := &g.states[i]
+			switch ba.spec.Func {
+			case AggCount:
+				st.count++
+			case AggCountDistinct:
+				if st.distinct == nil {
+					st.distinct = make(map[int64]struct{})
+				}
+				st.distinct[ba.ivals[row]] = struct{}{}
+			case AggSum, AggAvg:
+				st.sum += ba.vals[row]
+				st.count++
+			case AggMin:
+				if ba.intArg {
+					if !st.seen || ba.ivals[row] < st.minI {
+						st.minI = ba.ivals[row]
+					}
+				} else if !st.seen || ba.vals[row] < st.min {
+					st.min = ba.vals[row]
+				}
+				st.seen = true
+			case AggMax:
+				if ba.intArg {
+					if !st.seen || ba.ivals[row] > st.maxI {
+						st.maxI = ba.ivals[row]
+					}
+				} else if !st.seen || ba.vals[row] > st.max {
+					st.max = ba.vals[row]
+				}
+				st.seen = true
+			}
+		}
+	}
+
+	// Assemble output: group columns first, then aggregates.
+	out := make([]RelCol, 0, len(groupCols)+len(baggs))
+	for gi, c := range groupCols {
+		dst := RelCol{Name: a.GroupBy[gi], Type: c.Type, Dict: c.Dict}
+		if c.Type == storage.Float64 {
+			dst.Floats = make([]float64, len(groups))
+			for k, g := range groups {
+				dst.Floats[k] = c.Floats[g.firstRow]
+			}
+		} else {
+			dst.Ints = make([]int64, len(groups))
+			for k, g := range groups {
+				dst.Ints[k] = c.Ints[g.firstRow]
+			}
+		}
+		out = append(out, dst)
+	}
+	for i, ba := range baggs {
+		name := ba.spec.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_%d", ba.spec.Func, i)
+		}
+		dst := RelCol{Name: name, Type: ba.outTyp, Dict: ba.dict}
+		if ba.outTyp == storage.Float64 {
+			dst.Floats = make([]float64, len(groups))
+			for k, g := range groups {
+				st := &g.states[i]
+				switch ba.spec.Func {
+				case AggSum:
+					dst.Floats[k] = st.sum
+				case AggAvg:
+					if st.count > 0 {
+						dst.Floats[k] = st.sum / float64(st.count)
+					}
+				case AggMin:
+					dst.Floats[k] = st.min
+				case AggMax:
+					dst.Floats[k] = st.max
+				}
+			}
+		} else {
+			dst.Ints = make([]int64, len(groups))
+			for k, g := range groups {
+				st := &g.states[i]
+				switch ba.spec.Func {
+				case AggCount:
+					dst.Ints[k] = st.count
+				case AggCountDistinct:
+					dst.Ints[k] = int64(len(st.distinct))
+				case AggMin:
+					dst.Ints[k] = st.minI
+				case AggMax:
+					dst.Ints[k] = st.maxI
+				}
+			}
+		}
+		out = append(out, dst)
+	}
+	return NewRelation(out)
+}

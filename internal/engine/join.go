@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/predcache/predcache/internal/bloom"
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// joinKeyEncoder extracts comparable key bytes for one relation's key
+// columns. String columns are encoded via their dictionary values so keys
+// compare correctly across relations with different dictionaries.
+type joinKeyEncoder struct {
+	cols []*RelCol
+}
+
+func newJoinKeyEncoder(rel *Relation, keys []string) (*joinKeyEncoder, error) {
+	e := &joinKeyEncoder{}
+	for _, k := range keys {
+		c := rel.ColByName(k)
+		if c == nil {
+			return nil, fmt.Errorf("engine: join key %q not found", k)
+		}
+		e.cols = append(e.cols, c)
+	}
+	return e, nil
+}
+
+// single reports whether the fast single-int64 path applies.
+func (e *joinKeyEncoder) single() bool {
+	return len(e.cols) == 1 && e.cols[0].Type != storage.Float64 && e.cols[0].Type != storage.String
+}
+
+func (e *joinKeyEncoder) intKey(row int) int64 { return e.cols[0].Ints[row] }
+
+// encode appends the composite key bytes for row to dst.
+func (e *joinKeyEncoder) encode(dst []byte, row int) []byte {
+	var buf [8]byte
+	for _, c := range e.cols {
+		switch c.Type {
+		case storage.Float64:
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(c.Floats[row]*1e6)))
+			dst = append(dst, buf[:]...)
+		case storage.String:
+			s := c.Dict.Value(c.Ints[row])
+			binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
+			dst = append(dst, buf[:4]...)
+			dst = append(dst, s...)
+		default:
+			binary.LittleEndian.PutUint64(buf[:], uint64(c.Ints[row]))
+			dst = append(dst, buf[:]...)
+		}
+	}
+	return dst
+}
+
+// Execute runs the hash join: build on Right, probe with Left. When
+// enabled, a Bloom filter of the build keys is pushed into a probe-side
+// base-table scan before it runs, so the scan can cache the semi-join
+// result (§4.4, Figure 12).
+func (j *Join) Execute(ec *ExecCtx) (*Relation, error) {
+	buildRel, err := j.Right.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
+		return nil, fmt.Errorf("engine: join needs matching key lists")
+	}
+	buildEnc, err := newJoinKeyEncoder(buildRel, j.RightKeys)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the hash table.
+	var intTable map[int64][]int32
+	var bytesTable map[string][]int32
+	if buildEnc.single() {
+		intTable = make(map[int64][]int32, buildRel.NumRows())
+		for row := 0; row < buildRel.NumRows(); row++ {
+			k := buildEnc.intKey(row)
+			intTable[k] = append(intTable[k], int32(row))
+		}
+	} else {
+		bytesTable = make(map[string][]int32, buildRel.NumRows())
+		var scratch []byte
+		for row := 0; row < buildRel.NumRows(); row++ {
+			scratch = buildEnc.encode(scratch[:0], row)
+			bytesTable[string(scratch)] = append(bytesTable[string(scratch)], int32(row))
+		}
+	}
+
+	// Semi-join filter pushdown into the base probe-side scan. The probe key
+	// column originates from a base table even through a chain of inner
+	// joins, so the Bloom filter can sink all the way down (star schemas
+	// push one filter per dimension onto the fact scan).
+	probeScan := baseProbeScan(j.Left)
+	pushSJ := j.PushSemiJoin && !ec.DisableSemiJoin && probeScan != nil &&
+		len(j.LeftKeys) == 1 && (j.Type == InnerJoin || j.Type == SemiJoin)
+	if pushSJ {
+		// The key must be a base column of the probe scan's table.
+		if tbl, ok := ec.Catalog.Table(probeScan.Table); !ok ||
+			tbl.ColumnIndex(probeKeyName(probeScan, j.LeftKeys[0])) < 0 {
+			pushSJ = false
+		}
+	}
+	if pushSJ {
+		keyCol := buildRel.ColByName(j.RightKeys[0])
+		sj := &semiJoinFilter{keyCol: probeKeyName(probeScan, j.LeftKeys[0])}
+		sj.filter = bloom.New(buildRel.NumRows(), 0.01)
+		if keyCol.Type == storage.String {
+			sj.stringKeys = true
+			for row := 0; row < buildRel.NumRows(); row++ {
+				sj.filter.Add(hashString(keyCol.Dict.Value(keyCol.Ints[row])))
+			}
+		} else if keyCol.Type == storage.Float64 {
+			pushSJ = false // float join keys: no bloom
+		} else {
+			for row := 0; row < buildRel.NumRows(); row++ {
+				sj.filter.AddInt(keyCol.Ints[row])
+			}
+		}
+		if pushSJ {
+			if desc, deps, ok := j.Right.CacheDescriptor(ec); ok {
+				sj.cacheable = true
+				sj.sjKey = core.SemiJoinKey{
+					JoinPred: "(= " + j.LeftKeys[0] + " " + j.RightKeys[0] + ")",
+					BuildKey: desc,
+				}
+				sj.deps = deps
+			}
+			probeScan.runtimeSJ = append(probeScan.runtimeSJ, sj)
+			defer func() { probeScan.runtimeSJ = probeScan.runtimeSJ[:len(probeScan.runtimeSJ)-1] }()
+		}
+	}
+
+	probeRel, err := j.Left.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	probeEnc, err := newJoinKeyEncoder(probeRel, j.LeftKeys)
+	if err != nil {
+		return nil, err
+	}
+	if buildEnc.single() != probeEnc.single() {
+		// Mixed representations: fall back to byte keys on both sides.
+		return nil, fmt.Errorf("engine: join key type mismatch between %v and %v", j.LeftKeys, j.RightKeys)
+	}
+
+	lookup := func(row int, scratch []byte) ([]int32, []byte) {
+		if intTable != nil {
+			return intTable[probeEnc.intKey(row)], scratch
+		}
+		scratch = probeEnc.encode(scratch[:0], row)
+		return bytesTable[string(scratch)], scratch
+	}
+
+	var probeRows []int
+	var buildRows []int32
+	var scratch []byte
+	switch j.Type {
+	case InnerJoin:
+		for row := 0; row < probeRel.NumRows(); row++ {
+			var matches []int32
+			matches, scratch = lookup(row, scratch)
+			for _, m := range matches {
+				probeRows = append(probeRows, row)
+				buildRows = append(buildRows, m)
+			}
+		}
+	case LeftOuterJoin:
+		for row := 0; row < probeRel.NumRows(); row++ {
+			var matches []int32
+			matches, scratch = lookup(row, scratch)
+			if len(matches) == 0 {
+				probeRows = append(probeRows, row)
+				buildRows = append(buildRows, -1)
+				continue
+			}
+			for _, m := range matches {
+				probeRows = append(probeRows, row)
+				buildRows = append(buildRows, m)
+			}
+		}
+	case SemiJoin:
+		for row := 0; row < probeRel.NumRows(); row++ {
+			var matches []int32
+			matches, scratch = lookup(row, scratch)
+			if len(matches) > 0 {
+				probeRows = append(probeRows, row)
+			}
+		}
+	case AntiJoin:
+		for row := 0; row < probeRel.NumRows(); row++ {
+			var matches []int32
+			matches, scratch = lookup(row, scratch)
+			if len(matches) == 0 {
+				probeRows = append(probeRows, row)
+			}
+		}
+	}
+
+	// Assemble the output: probe columns, then (for inner/left) build
+	// columns not shadowing probe names, plus a __matched marker for left
+	// outer joins (this engine has no NULLs; sum(__matched) recovers SQL's
+	// count(build_col) semantics).
+	out := make([]RelCol, 0, probeRel.NumCols()+buildRel.NumCols()+1)
+	for i := 0; i < probeRel.NumCols(); i++ {
+		src := probeRel.Col(i)
+		dst := RelCol{Name: src.Name, Type: src.Type, Dict: src.Dict}
+		if src.Type == storage.Float64 {
+			dst.Floats = make([]float64, len(probeRows))
+			for k, row := range probeRows {
+				dst.Floats[k] = src.Floats[row]
+			}
+		} else {
+			dst.Ints = make([]int64, len(probeRows))
+			for k, row := range probeRows {
+				dst.Ints[k] = src.Ints[row]
+			}
+		}
+		out = append(out, dst)
+	}
+	if j.Type == InnerJoin || j.Type == LeftOuterJoin {
+		for i := 0; i < buildRel.NumCols(); i++ {
+			src := buildRel.Col(i)
+			if probeRel.ColByName(src.Name) != nil {
+				continue // shadowed (typically the join key re-appearing)
+			}
+			dst := RelCol{Name: src.Name, Type: src.Type, Dict: src.Dict}
+			if src.Type == storage.Float64 {
+				dst.Floats = make([]float64, len(probeRows))
+				for k := range probeRows {
+					if buildRows[k] >= 0 {
+						dst.Floats[k] = src.Floats[buildRows[k]]
+					}
+				}
+			} else {
+				dst.Ints = make([]int64, len(probeRows))
+				for k := range probeRows {
+					if buildRows[k] >= 0 {
+						dst.Ints[k] = src.Ints[buildRows[k]]
+					}
+				}
+			}
+			out = append(out, dst)
+		}
+	}
+	if j.Type == LeftOuterJoin {
+		matched := RelCol{Name: "__matched", Type: storage.Int64, Ints: make([]int64, len(probeRows))}
+		for k := range probeRows {
+			if buildRows[k] >= 0 {
+				matched.Ints[k] = 1
+			}
+		}
+		out = append(out, matched)
+	}
+	return NewRelation(out)
+}
+
+// baseProbeScan descends to the base-table scan feeding the probe side,
+// crossing only row-preserving or row-filtering operators (inner/semi joins
+// keep fact-row key values intact; filters only remove rows), so a Bloom
+// filter on a base column remains a sound necessary condition.
+func baseProbeScan(n Node) *Scan {
+	switch t := n.(type) {
+	case *Scan:
+		return t
+	case *Join:
+		if t.Type == InnerJoin || t.Type == SemiJoin {
+			return baseProbeScan(t.Left)
+		}
+	case *Filter:
+		return baseProbeScan(t.Input)
+	}
+	return nil
+}
+
+// probeKeyName maps a join key name back to the base-table column name when
+// the probe scan uses an alias.
+func probeKeyName(s *Scan, key string) string {
+	if s.Alias != "" {
+		prefix := s.Alias + "."
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			return key[len(prefix):]
+		}
+	}
+	return key
+}

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Execute evaluates the projection expressions.
+func (p *Project) Execute(ec *ExecCtx) (*Relation, error) {
+	in, err := p.Input.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	ctx := in.blockCtx()
+	sel := make([]int, in.NumRows())
+	for i := range sel {
+		sel[i] = i
+	}
+	out := make([]RelCol, 0, len(p.Exprs))
+	for _, ns := range p.Exprs {
+		name := ns.Name
+		if name == "" {
+			name = ns.Expr.Key()
+		}
+		// Column references pass through untouched, preserving type and
+		// dictionary.
+		if cr, ok := ns.Expr.(*expr.ColRef); ok {
+			src := in.ColByName(cr.Name)
+			if src == nil {
+				return nil, fmt.Errorf("engine: projection column %q not found", cr.Name)
+			}
+			dst := *src
+			dst.Name = name
+			out = append(out, dst)
+			continue
+		}
+		bs, err := expr.BindScalar(ns.Expr, in)
+		if err != nil {
+			return nil, err
+		}
+		if bs.Out().IsInt() {
+			vals := make([]int64, in.NumRows())
+			bs.EvalI(ctx, sel, vals)
+			out = append(out, RelCol{Name: name, Type: storage.Int64, Ints: vals})
+		} else {
+			vals := make([]float64, in.NumRows())
+			bs.EvalF(ctx, sel, vals)
+			out = append(out, RelCol{Name: name, Type: storage.Float64, Floats: vals})
+		}
+	}
+	return NewRelation(out)
+}
+
+// Execute filters rows of the input relation.
+func (f *Filter) Execute(ec *ExecCtx) (*Relation, error) {
+	in, err := f.Input.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := expr.Bind(f.Pred, in)
+	if err != nil {
+		return nil, err
+	}
+	ctx := in.blockCtx()
+	sel := make([]int, in.NumRows())
+	for i := range sel {
+		sel[i] = i
+	}
+	sel = bound.Eval(ctx, sel)
+	return in.gather(sel), nil
+}
+
+// Execute sorts the input.
+func (s *Sort) Execute(ec *ExecCtx) (*Relation, error) {
+	in, err := s.Input.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	type keyCol struct {
+		col  *RelCol
+		desc bool
+	}
+	keys := make([]keyCol, len(s.Keys))
+	for i, k := range s.Keys {
+		c := in.ColByName(k.Col)
+		if c == nil {
+			return nil, fmt.Errorf("engine: sort column %q not found", k.Col)
+		}
+		keys[i] = keyCol{c, k.Desc}
+	}
+	perm := make([]int, in.NumRows())
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		rx, ry := perm[x], perm[y]
+		for _, k := range keys {
+			var cmp int
+			switch k.col.Type {
+			case storage.Float64:
+				a, b := k.col.Floats[rx], k.col.Floats[ry]
+				switch {
+				case a < b:
+					cmp = -1
+				case a > b:
+					cmp = 1
+				}
+			case storage.String:
+				a, b := k.col.Dict.Value(k.col.Ints[rx]), k.col.Dict.Value(k.col.Ints[ry])
+				switch {
+				case a < b:
+					cmp = -1
+				case a > b:
+					cmp = 1
+				}
+			default:
+				a, b := k.col.Ints[rx], k.col.Ints[ry]
+				switch {
+				case a < b:
+					cmp = -1
+				case a > b:
+					cmp = 1
+				}
+			}
+			if cmp != 0 {
+				if k.desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return in.gather(perm), nil
+}
+
+// Execute truncates the input to N rows.
+func (l *Limit) Execute(ec *ExecCtx) (*Relation, error) {
+	in, err := l.Input.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	if in.NumRows() <= l.N {
+		return in, nil
+	}
+	rows := make([]int, l.N)
+	for i := range rows {
+		rows[i] = i
+	}
+	return in.gather(rows), nil
+}
+
+// Union concatenates inputs with identical schemas (names and types). It is
+// used to express queries this engine's join types cannot produce directly.
+type Union struct {
+	Inputs []Node
+}
+
+// CacheDescriptor: unions are not used as semi-join build sides.
+func (u *Union) CacheDescriptor(*ExecCtx) (string, []core.BuildDep, bool) { return "", nil, false }
+
+// Execute concatenates the inputs.
+func (u *Union) Execute(ec *ExecCtx) (*Relation, error) {
+	if len(u.Inputs) == 0 {
+		return nil, fmt.Errorf("engine: empty union")
+	}
+	rels := make([]*Relation, len(u.Inputs))
+	for i, in := range u.Inputs {
+		r, err := in.Execute(ec)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	first := rels[0]
+	out := make([]RelCol, first.NumCols())
+	for ci := 0; ci < first.NumCols(); ci++ {
+		proto := first.Col(ci)
+		dst := RelCol{Name: proto.Name, Type: proto.Type, Dict: proto.Dict}
+		// Detect dictionary mismatches across string inputs.
+		needsReencode := false
+		for _, r := range rels[1:] {
+			c := r.Col(ci)
+			if c.Name != proto.Name || c.Type != proto.Type {
+				return nil, fmt.Errorf("engine: union schema mismatch at column %d (%s/%s)", ci, proto.Name, c.Name)
+			}
+			if proto.Type == storage.String && c.Dict != proto.Dict {
+				needsReencode = true
+			}
+		}
+		if proto.Type == storage.String && needsReencode {
+			nd := storage.NewDict()
+			dst.Dict = nd
+			for _, r := range rels {
+				c := r.Col(ci)
+				for _, code := range c.Ints {
+					dst.Ints = append(dst.Ints, nd.Code(c.Dict.Value(code)))
+				}
+			}
+		} else if proto.Type == storage.Float64 {
+			for _, r := range rels {
+				dst.Floats = append(dst.Floats, r.Col(ci).Floats...)
+			}
+		} else {
+			for _, r := range rels {
+				dst.Ints = append(dst.Ints, r.Col(ci).Ints...)
+			}
+		}
+		out[ci] = dst
+	}
+	return NewRelation(out)
+}
+
+// Materialized wraps an already-computed relation as a plan node (used by
+// the materialized-view baseline to run plan fragments over view contents).
+type Materialized struct {
+	Rel *Relation
+}
+
+// CacheDescriptor: materialized relations are not cache-describable.
+func (m *Materialized) CacheDescriptor(*ExecCtx) (string, []core.BuildDep, bool) {
+	return "", nil, false
+}
+
+// Execute returns the wrapped relation.
+func (m *Materialized) Execute(*ExecCtx) (*Relation, error) { return m.Rel, nil }

@@ -1,0 +1,200 @@
+// Package engine implements the vectorized query engine the predicate cache
+// is embedded in: the two-step table scan (zone-map block elimination +
+// vectorized filtering, §4.2.2), hash joins with semi-join-filter pushdown
+// into probe-side scans (§4.4), hash aggregation, and the plan nodes the SQL
+// front end lowers to.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// RelCol is one column of a materialized relation. String columns stay
+// dictionary-coded (Ints holds codes, Dict decodes them) so joins, grouping
+// and predicates on intermediates reuse the integer paths.
+type RelCol struct {
+	Name   string
+	Type   storage.ColumnType
+	Ints   []int64
+	Floats []float64
+	Dict   *storage.Dict
+}
+
+// Relation is a materialized intermediate result.
+type Relation struct {
+	cols   []RelCol
+	byName map[string]int
+	n      int
+}
+
+// NewRelation builds a relation from columns; all columns must have equal
+// length.
+func NewRelation(cols []RelCol) (*Relation, error) {
+	r := &Relation{cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		ln := len(c.Ints)
+		if c.Type == storage.Float64 {
+			ln = len(c.Floats)
+		}
+		if i == 0 {
+			r.n = ln
+		} else if ln != r.n {
+			return nil, fmt.Errorf("engine: column %s has %d rows, want %d", c.Name, ln, r.n)
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("engine: duplicate column %s", c.Name)
+		}
+		r.byName[c.Name] = i
+	}
+	return r, nil
+}
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return r.n }
+
+// NumCols returns the column count.
+func (r *Relation) NumCols() int { return len(r.cols) }
+
+// Col returns column i.
+func (r *Relation) Col(i int) *RelCol { return &r.cols[i] }
+
+// ColByName returns the named column or nil.
+func (r *Relation) ColByName(name string) *RelCol {
+	if i, ok := r.byName[name]; ok {
+		return &r.cols[i]
+	}
+	return nil
+}
+
+// --- expr.Source implementation ---
+
+// Name implements expr.Source.
+func (r *Relation) Name() string { return "relation" }
+
+// ColumnIndex implements expr.Source.
+func (r *Relation) ColumnIndex(name string) int {
+	if i, ok := r.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnType implements expr.Source.
+func (r *Relation) ColumnType(i int) storage.ColumnType { return r.cols[i].Type }
+
+// Dict implements expr.Source.
+func (r *Relation) Dict(i int) *storage.Dict { return r.cols[i].Dict }
+
+// blockCtx exposes the whole relation as one evaluation block.
+func (r *Relation) blockCtx() *expr.BlockCtx {
+	dicts := make([]*storage.Dict, len(r.cols))
+	for i := range r.cols {
+		dicts[i] = r.cols[i].Dict
+	}
+	ctx := expr.NewBlockCtx(len(r.cols), dicts)
+	ctx.N = r.n
+	for i := range r.cols {
+		if r.cols[i].Type == storage.Float64 {
+			ctx.SetFloat(i, r.cols[i].Floats)
+		} else {
+			ctx.SetInt(i, r.cols[i].Ints)
+		}
+	}
+	return ctx
+}
+
+// gather builds a new relation keeping only the given row indexes.
+func (r *Relation) gather(rows []int) *Relation {
+	out := &Relation{byName: r.byName, n: len(rows)}
+	out.cols = make([]RelCol, len(r.cols))
+	for i := range r.cols {
+		src := &r.cols[i]
+		dst := RelCol{Name: src.Name, Type: src.Type, Dict: src.Dict}
+		if src.Type == storage.Float64 {
+			dst.Floats = make([]float64, len(rows))
+			for j, row := range rows {
+				dst.Floats[j] = src.Floats[row]
+			}
+		} else {
+			dst.Ints = make([]int64, len(rows))
+			for j, row := range rows {
+				dst.Ints[j] = src.Ints[row]
+			}
+		}
+		out.cols[i] = dst
+	}
+	return out
+}
+
+// StringValue renders cell (row, col) as text.
+func (r *Relation) StringValue(row, col int) string {
+	c := &r.cols[col]
+	switch c.Type {
+	case storage.Float64:
+		return strconv.FormatFloat(c.Floats[row], 'f', 4, 64)
+	case storage.String:
+		return c.Dict.Value(c.Ints[row])
+	case storage.Date:
+		return storage.FormatDate(c.Ints[row])
+	case storage.Bool:
+		if c.Ints[row] != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return strconv.FormatInt(c.Ints[row], 10)
+	}
+}
+
+// Format renders up to maxRows rows as an aligned text table.
+func (r *Relation) Format(maxRows int) string {
+	var b strings.Builder
+	for i, c := range r.cols {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	rows := r.n
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+	}
+	for row := 0; row < rows; row++ {
+		for col := range r.cols {
+			if col > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(r.StringValue(row, col))
+		}
+		b.WriteByte('\n')
+	}
+	if rows < r.n {
+		fmt.Fprintf(&b, "... (%d rows total)\n", r.n)
+	}
+	return b.String()
+}
+
+// ColumnNames returns the column names in order.
+func (r *Relation) ColumnNames() []string {
+	names := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// MemBytes approximates the relation's memory footprint (used by the
+// result-cache baseline for budget accounting, Table 3).
+func (r *Relation) MemBytes() int {
+	n := 48
+	for i := range r.cols {
+		n += 64 + len(r.cols[i].Ints)*8 + len(r.cols[i].Floats)*8
+	}
+	return n
+}

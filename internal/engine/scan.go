@@ -1,0 +1,531 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"github.com/predcache/predcache/internal/bloom"
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// semiJoinFilter is a runtime semi-join filter pushed into a probe-side
+// scan by a hash join (§4.4): a Bloom filter over the build side's join
+// keys plus — when the build side is describable — the key components that
+// let the predicate cache index the filtered scan.
+type semiJoinFilter struct {
+	keyCol string // probe-side join key column
+	filter *bloom.Filter
+	// stringKeys marks that the bloom holds FNV hashes of string values
+	// rather than raw integer keys.
+	stringKeys bool
+
+	// cacheable semi-joins contribute to the scan's cache key.
+	cacheable bool
+	sjKey     core.SemiJoinKey
+	deps      []core.BuildDep
+}
+
+// hashString hashes a string join key for bloom insertion/probing.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// sliceScanResult is the per-slice outcome of a scan.
+type sliceScanResult struct {
+	rel         *relBuilder
+	plainRanges []storage.RowRange // rows passing the filter (pre-bloom, pre-visibility)
+	sjRanges    []storage.RowRange // rows passing filter + semi-join filters
+	numRows     int
+	err         error
+}
+
+// sliceBoundsProvider adapts a slice's per-block zone maps for pruning.
+type sliceBoundsProvider struct {
+	slice *storage.Slice
+	block int
+}
+
+func (p sliceBoundsProvider) IntBounds(col int) (int64, int64, bool) {
+	return p.slice.Column(col).IntBounds(p.block)
+}
+
+func (p sliceBoundsProvider) FloatBounds(col int) (float64, float64, bool) {
+	return p.slice.Column(col).FloatBounds(p.block)
+}
+
+// relBuilder accumulates projected output values for one slice.
+type relBuilder struct {
+	cols []RelCol
+	idx  []int // column index in the base table
+}
+
+func newRelBuilder(tbl *storage.Table, project []string, alias string) (*relBuilder, error) {
+	b := &relBuilder{}
+	for _, name := range project {
+		ci := tbl.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", tbl.Name(), name)
+		}
+		outName := name
+		if alias != "" {
+			outName = alias + "." + name
+		}
+		b.cols = append(b.cols, RelCol{Name: outName, Type: tbl.ColumnType(ci), Dict: tbl.Dict(ci)})
+		b.idx = append(b.idx, ci)
+	}
+	return b, nil
+}
+
+// Execute runs the scan: the paper's Figure 11 flow. It checks the
+// predicate cache for the scan expression (step 1), restricts the
+// range-restricted scan to cached candidate ranges on a hit (step 5),
+// re-evaluates the predicate on candidates to eliminate false positives,
+// and inserts/extends cache entries from the qualifying ranges the
+// vectorized scan produced (steps 3-4).
+func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
+	tbl, ok := ec.Catalog.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %s", s.Table)
+	}
+	pred := s.Filter
+	if pred == nil {
+		pred = expr.TruePred{}
+	}
+
+	project := s.Project
+	if project == nil {
+		for _, def := range tbl.Schema() {
+			project = append(project, def.Name)
+		}
+	}
+
+	sjs := s.runtimeSJ
+	sjKeyCols := make([]int, len(sjs))
+	for i, sj := range sjs {
+		ci := tbl.ColumnIndex(sj.keyCol)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: semi-join key %s not in table %s", sj.keyCol, s.Table)
+		}
+		sjKeyCols[i] = ci
+	}
+
+	// Cache keys: the plain filter key, plus the semi-join key when every
+	// pushed filter is describable (§4.4: entries with and without semi-join
+	// filters live in the same cache).
+	plainKey := core.Key{Table: s.Table, Predicate: pred.Key()}
+	var sjCacheKey core.Key
+	var sjDeps []core.BuildDep
+	sjKeyOK := false
+	if len(sjs) > 0 && !ec.DisableSemiJoinCache {
+		sjKeyOK = true
+		sjCacheKey = core.Key{Table: s.Table, Predicate: pred.Key()}
+		for _, sj := range sjs {
+			if !sj.cacheable {
+				sjKeyOK = false
+				break
+			}
+			sjCacheKey.SemiJoins = append(sjCacheKey.SemiJoins, sj.sjKey)
+			sjDeps = append(sjDeps, sj.deps...)
+		}
+	}
+
+	// Step 1: cache lookup, most selective entry wins.
+	var cand core.Candidates
+	hit := false
+	useCache := ec.Cache != nil && ec.Cache.Enabled()
+	if useCache && !ec.ForceCacheInsertOnly {
+		keys := []string{plainKey.String()}
+		if sjKeyOK {
+			keys = append(keys, sjCacheKey.String())
+		}
+		cand, hit = ec.Cache.Best(keys)
+	}
+	if ec.Stats != nil {
+		if hit {
+			ec.Stats.CacheHits.Add(1)
+		} else if useCache {
+			ec.Stats.CacheMisses.Add(1)
+		}
+	}
+	usedSJEntry := hit && cand.Key != plainKey.String()
+
+	// The layout epoch is captured before the scan lock: if a vacuum slips
+	// in between, the inserted entry carries the pre-vacuum epoch and is
+	// conservatively treated as stale on its first lookup.
+	epoch := tbl.LayoutEpoch()
+	unlock := tbl.RLockScan()
+
+	// Binding happens under the scan lock: it snapshots string dictionaries
+	// (LIKE memos, code lookups), which concurrent appends may grow.
+	bound, err := expr.Bind(pred, tbl)
+	if err != nil {
+		unlock()
+		return nil, err
+	}
+	sjMemos := make([][]bool, len(sjs))
+	for i, sj := range sjs {
+		if !sj.stringKeys {
+			continue
+		}
+		dict := tbl.Dict(sjKeyCols[i])
+		memo := make([]bool, dict.Len())
+		for code := range memo {
+			memo[code] = sj.filter.MayContain(hashString(dict.Value(int64(code))))
+		}
+		sjMemos[i] = memo
+	}
+
+	numSlices := tbl.NumSlices()
+	results := make([]sliceScanResult, numSlices)
+	run := func(i int) {
+		res := &results[i]
+		slice := tbl.Slice(i)
+		res.numRows = slice.NumRows()
+		var candidates []storage.RowRange
+		watermark := 0
+		if hit && i < len(cand.PerSlice) && cand.Watermarks[i] <= res.numRows {
+			watermark = cand.Watermarks[i]
+			candidates = append(candidates, cand.PerSlice[i]...)
+			if watermark < res.numRows {
+				candidates = append(candidates, storage.RowRange{Start: watermark, End: res.numRows})
+			}
+		} else {
+			if res.numRows > 0 {
+				candidates = []storage.RowRange{{Start: 0, End: res.numRows}}
+			}
+		}
+		rb, err := newRelBuilder(tbl, project, s.Alias)
+		if err != nil {
+			res.err = err
+			return
+		}
+		res.rel = rb
+		s.scanSlice(ec, tbl, slice, bound, sjs, sjKeyCols, sjMemos, candidates, res)
+	}
+	if ec.Parallel && numSlices > 1 {
+		var wg sync.WaitGroup
+		for i := 0; i < numSlices; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < numSlices; i++ {
+			run(i)
+		}
+	}
+	unlock()
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+
+	// Steps 3-4: feed the cache from the ranges the vectorized scan
+	// (performed after releasing the scan lock: cache bookkeeping reads
+	// table versions, which must not nest inside the table's read lock)
+	// produced. On a miss both keys are inserted; on a plain-key hit the
+	// semi-join entry can still be inserted (its rows are a subset of the
+	// candidates scanned); on a semi-join-entry hit only that entry is
+	// extended — plain qualifying rows outside the entry were never visited.
+	if useCache {
+		plainRanges := make([][]storage.RowRange, numSlices)
+		sjRanges := make([][]storage.RowRange, numSlices)
+		watermarks := make([]int, numSlices)
+		for i := range results {
+			plainRanges[i] = results[i].plainRanges
+			sjRanges[i] = results[i].sjRanges
+			watermarks[i] = results[i].numRows
+		}
+		switch {
+		case !hit:
+			ec.Cache.Insert(plainKey, tbl, epoch, nil, plainRanges, watermarks)
+			if sjKeyOK {
+				ec.Cache.Insert(sjCacheKey, tbl, epoch, sjDeps, sjRanges, watermarks)
+			}
+		case !usedSJEntry:
+			for i := range results {
+				if i >= len(cand.Watermarks) {
+					break // defensive: entry slice count mismatch
+				}
+				tail := rangesFrom(plainRanges[i], cand.Watermarks[i])
+				if len(tail) > 0 || watermarks[i] > cand.Watermarks[i] {
+					ec.Cache.Extend(plainKey.String(), i, tail, watermarks[i])
+				}
+			}
+			// Only (re)build the semi-join entry when none is current: a
+			// steady-state warm scan must not pay entry construction again
+			// ("rigorously avoiding slowdowns", §1).
+			if sjKeyOK && !ec.Cache.Has(sjCacheKey.String()) {
+				ec.Cache.Insert(sjCacheKey, tbl, epoch, sjDeps, sjRanges, watermarks)
+			}
+		default:
+			for i := range results {
+				if i >= len(cand.Watermarks) {
+					break // defensive: entry slice count mismatch
+				}
+				tail := rangesFrom(sjRanges[i], cand.Watermarks[i])
+				if len(tail) > 0 || watermarks[i] > cand.Watermarks[i] {
+					ec.Cache.Extend(sjCacheKey.String(), i, tail, watermarks[i])
+				}
+			}
+		}
+	}
+
+	// Merge per-slice outputs.
+	out := make([]RelCol, len(results[0].rel.cols))
+	for ci := range out {
+		out[ci] = RelCol{
+			Name: results[0].rel.cols[ci].Name,
+			Type: results[0].rel.cols[ci].Type,
+			Dict: results[0].rel.cols[ci].Dict,
+		}
+		for i := range results {
+			src := &results[i].rel.cols[ci]
+			out[ci].Ints = append(out[ci].Ints, src.Ints...)
+			out[ci].Floats = append(out[ci].Floats, src.Floats...)
+		}
+	}
+	return NewRelation(out)
+}
+
+// rangesFrom clips ranges to those at or beyond start.
+func rangesFrom(ranges []storage.RowRange, start int) []storage.RowRange {
+	var out []storage.RowRange
+	for _, r := range ranges {
+		if r.End <= start {
+			continue
+		}
+		if r.Start < start {
+			r.Start = start
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// rangeRecorder accumulates qualifying global row numbers into merged
+// ranges.
+type rangeRecorder struct {
+	ranges []storage.RowRange
+}
+
+func (r *rangeRecorder) add(start, end int) {
+	if n := len(r.ranges); n > 0 && r.ranges[n-1].End == start {
+		r.ranges[n-1].End = end
+		return
+	}
+	r.ranges = append(r.ranges, storage.RowRange{Start: start, End: end})
+}
+
+// addSel records block-relative selected rows as global ranges.
+func (r *rangeRecorder) addSel(base int, sel []int) {
+	i := 0
+	for i < len(sel) {
+		j := i + 1
+		for j < len(sel) && sel[j] == sel[j-1]+1 {
+			j++
+		}
+		r.add(base+sel[i], base+sel[j-1]+1)
+		i = j
+	}
+}
+
+// scanSlice performs the two-step scan of one slice over the candidate
+// ranges.
+func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, bound expr.Bound,
+	sjs []*semiJoinFilter, sjKeyCols []int, sjMemos [][]bool,
+	candidates []storage.RowRange, res *sliceScanResult) {
+
+	numCols := len(tbl.Schema())
+	dicts := make([]*storage.Dict, numCols)
+	for i := 0; i < numCols; i++ {
+		dicts[i] = tbl.Dict(i)
+	}
+	ctx := expr.NewBlockCtx(numCols, dicts)
+
+	intScratch := make([][]int64, numCols)
+	floatScratch := make([][]float64, numCols)
+	loaded := make([]bool, numCols)
+
+	loadCol := func(blk, ci int) {
+		if loaded[ci] {
+			return
+		}
+		loaded[ci] = true
+		if ec.Stats != nil {
+			ec.Stats.BlocksAccessed.Add(1)
+		}
+		if tbl.ColumnType(ci) == storage.Float64 {
+			if floatScratch[ci] == nil {
+				floatScratch[ci] = make([]float64, storage.BlockSize)
+			}
+			slice.Column(ci).ReadFloatBlock(blk, floatScratch[ci])
+			ctx.SetFloat(ci, floatScratch[ci])
+		} else {
+			if intScratch[ci] == nil {
+				intScratch[ci] = make([]int64, storage.BlockSize)
+			}
+			slice.Column(ci).ReadIntBlock(blk, intScratch[ci])
+			ctx.SetInt(ci, intScratch[ci])
+		}
+	}
+
+	// Which columns the filter (and semi-joins) touch.
+	filterColIdx := map[int]bool{}
+	if s.Filter != nil {
+		for _, name := range s.Filter.Columns(nil) {
+			filterColIdx[tbl.ColumnIndex(name)] = true
+		}
+	}
+	for _, ci := range sjKeyCols {
+		filterColIdx[ci] = true
+	}
+
+	var plainRec, sjRec rangeRecorder
+	sel := make([]int, storage.BlockSize)
+	numRows := res.numRows
+	insXIDs := slice.InsertXIDs()
+	delXIDs := slice.DeleteXIDs()
+
+	ci := 0 // candidate cursor
+	numBlocks := (numRows + storage.BlockSize - 1) / storage.BlockSize
+	for blk := 0; blk < numBlocks; blk++ {
+		base := blk * storage.BlockSize
+		blkEnd := base + storage.BlockSize
+		if blkEnd > numRows {
+			blkEnd = numRows
+		}
+		// Advance past candidates entirely before this block.
+		for ci < len(candidates) && candidates[ci].End <= base {
+			ci++
+		}
+		// Collect candidate spans intersecting this block.
+		sel = sel[:0]
+		for j := ci; j < len(candidates) && candidates[j].Start < blkEnd; j++ {
+			lo := candidates[j].Start
+			if lo < base {
+				lo = base
+			}
+			hi := candidates[j].End
+			if hi > blkEnd {
+				hi = blkEnd
+			}
+			for r := lo; r < hi; r++ {
+				sel = append(sel, r-base)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+
+		// Step (1 of the two-step scan): zone-map block elimination.
+		bp := sliceBoundsProvider{slice: slice, block: blk}
+		if bound.Prune(bp) {
+			if ec.Stats != nil {
+				ec.Stats.BlocksSkipped.Add(1)
+			}
+			continue
+		}
+
+		// Step (2): vectorized filter over the candidate rows.
+		for i := range loaded {
+			loaded[i] = false
+		}
+		ctx.N = blkEnd - base
+		for colIdx := range filterColIdx {
+			loadCol(blk, colIdx)
+		}
+		if ec.Stats != nil {
+			ec.Stats.RowsScanned.Add(int64(len(sel)))
+		}
+		sel = bound.Eval(ctx, sel)
+		plainRec.addSel(base, sel)
+
+		// Semi-join filters (§4.4).
+		for i, sj := range sjs {
+			if len(sel) == 0 {
+				break
+			}
+			vec := ctx.Ints(sjKeyCols[i])
+			k := 0
+			if sj.stringKeys {
+				memo := sjMemos[i]
+				dict := dicts[sjKeyCols[i]]
+				for _, r := range sel {
+					code := vec[r]
+					var m bool
+					if int(code) < len(memo) {
+						m = memo[code]
+					} else {
+						m = sj.filter.MayContain(hashString(dict.Value(code)))
+					}
+					if m {
+						sel[k] = r
+						k++
+					}
+				}
+			} else {
+				for _, r := range sel {
+					if sj.filter.MayContainInt(vec[r]) {
+						sel[k] = r
+						k++
+					}
+				}
+			}
+			sel = sel[:k]
+		}
+		if len(sjs) > 0 {
+			sjRec.addSel(base, sel)
+		}
+
+		// MVCC visibility (§4.3.2): deleted rows inside cached ranges are
+		// eliminated here, which is what keeps entries valid across deletes.
+		k := 0
+		for _, r := range sel {
+			row := base + r
+			if insXIDs[row] <= ec.Snapshot && (delXIDs[row] == 0 || delXIDs[row] > ec.Snapshot) {
+				sel[k] = r
+				k++
+			}
+		}
+		sel = sel[:k]
+		if ec.Stats != nil {
+			ec.Stats.RowsQualified.Add(int64(len(sel)))
+		}
+		if len(sel) == 0 {
+			sel = sel[:cap(sel)]
+			continue
+		}
+
+		// Step (6): load and decompress the projected columns for the
+		// qualifying rows.
+		for outIdx, colIdx := range res.rel.idx {
+			loadCol(blk, colIdx)
+			dst := &res.rel.cols[outIdx]
+			if dst.Type == storage.Float64 {
+				vec := ctx.Floats(colIdx)
+				for _, r := range sel {
+					dst.Floats = append(dst.Floats, vec[r])
+				}
+			} else {
+				vec := ctx.Ints(colIdx)
+				for _, r := range sel {
+					dst.Ints = append(dst.Ints, vec[r])
+				}
+			}
+		}
+		sel = sel[:cap(sel)]
+	}
+
+	res.plainRanges = plainRec.ranges
+	res.sjRanges = sjRec.ranges
+}

@@ -1,0 +1,950 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// testTable builds a one-slice table with int, float, string and date
+// columns and returns it together with fully decompressed column vectors for
+// reference evaluation.
+func testTable(t testing.TB, n int, seed int64) (*storage.Table, *storage.Batch) {
+	t.Helper()
+	schema := storage.Schema{
+		{Name: "qty", Type: storage.Int64},
+		{Name: "price", Type: storage.Float64},
+		{Name: "mode", Type: storage.String},
+		{Name: "day", Type: storage.Date},
+	}
+	tbl, err := storage.NewTable("t", schema, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	modes := []string{"AIR", "MAIL", "SHIP", "TRUCK", "RAIL"}
+	b := storage.NewBatch(schema)
+	for i := 0; i < n; i++ {
+		b.Cols[0].Ints = append(b.Cols[0].Ints, int64(r.Intn(50)+1))
+		b.Cols[1].Floats = append(b.Cols[1].Floats, float64(r.Intn(10000))/100)
+		b.Cols[2].Strings = append(b.Cols[2].Strings, modes[r.Intn(len(modes))])
+		b.Cols[3].Ints = append(b.Cols[3].Ints, int64(9000+r.Intn(365)))
+	}
+	b.N = n
+	if err := tbl.Append(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	return tbl, b
+}
+
+// evalAll runs a bound predicate over every block of slice 0 and returns the
+// qualifying global row numbers.
+func evalAll(t testing.TB, tbl *storage.Table, bp Bound) []int {
+	t.Helper()
+	s := tbl.Slice(0)
+	ctx := NewBlockCtx(len(tbl.Schema()), dictsOf(tbl))
+	var out []int
+	ints := make([][]int64, len(tbl.Schema()))
+	floats := make([][]float64, len(tbl.Schema()))
+	sel := make([]int, storage.BlockSize)
+	for blk := 0; blk*storage.BlockSize < s.NumRows(); blk++ {
+		base := blk * storage.BlockSize
+		nrows := s.NumRows() - base
+		if nrows > storage.BlockSize {
+			nrows = storage.BlockSize
+		}
+		ctx.N = nrows
+		for ci, def := range tbl.Schema() {
+			if def.Type == storage.Float64 {
+				if floats[ci] == nil {
+					floats[ci] = make([]float64, storage.BlockSize)
+				}
+				s.Column(ci).ReadFloatBlock(blk, floats[ci])
+				ctx.SetFloat(ci, floats[ci])
+			} else {
+				if ints[ci] == nil {
+					ints[ci] = make([]int64, storage.BlockSize)
+				}
+				s.Column(ci).ReadIntBlock(blk, ints[ci])
+				ctx.SetInt(ci, ints[ci])
+			}
+		}
+		sel = sel[:nrows]
+		for i := 0; i < nrows; i++ {
+			sel[i] = i
+		}
+		for _, r := range bp.Eval(ctx, sel) {
+			out = append(out, base+r)
+		}
+		sel = sel[:cap(sel)]
+	}
+	return out
+}
+
+func dictsOf(tbl *storage.Table) []*storage.Dict {
+	dicts := make([]*storage.Dict, len(tbl.Schema()))
+	for i := range tbl.Schema() {
+		dicts[i] = tbl.Dict(i)
+	}
+	return dicts
+}
+
+// refEval evaluates the predicate row-by-row on the raw batch.
+func refEval(b *storage.Batch, f func(row int) bool) []int {
+	var out []int
+	for i := 0; i < b.N; i++ {
+		if f(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sameRows(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCmpPredicates(t *testing.T) {
+	tbl, b := testTable(t, 3500, 1)
+	cases := []struct {
+		pred Pred
+		ref  func(row int) bool
+	}{
+		{Cmp("qty", Ge, Int(40)), func(r int) bool { return b.Cols[0].Ints[r] >= 40 }},
+		{Cmp("qty", Eq, Int(7)), func(r int) bool { return b.Cols[0].Ints[r] == 7 }},
+		{Cmp("qty", Ne, Int(7)), func(r int) bool { return b.Cols[0].Ints[r] != 7 }},
+		{Cmp("qty", Lt, Int(5)), func(r int) bool { return b.Cols[0].Ints[r] < 5 }},
+		{Cmp("qty", Le, Int(5)), func(r int) bool { return b.Cols[0].Ints[r] <= 5 }},
+		{Cmp("qty", Gt, Int(45)), func(r int) bool { return b.Cols[0].Ints[r] > 45 }},
+		{Cmp("price", Lt, Float(10)), func(r int) bool { return b.Cols[1].Floats[r] < 10 }},
+		{Cmp("price", Ge, Float(99.5)), func(r int) bool { return b.Cols[1].Floats[r] >= 99.5 }},
+		{Cmp("mode", Eq, Str("AIR")), func(r int) bool { return b.Cols[2].Strings[r] == "AIR" }},
+		{Cmp("mode", Ne, Str("AIR")), func(r int) bool { return b.Cols[2].Strings[r] != "AIR" }},
+		{Cmp("mode", Ge, Str("SHIP")), func(r int) bool { return b.Cols[2].Strings[r] >= "SHIP" }},
+		{Cmp("mode", Lt, Str("MAIL")), func(r int) bool { return b.Cols[2].Strings[r] < "MAIL" }},
+	}
+	for i, c := range cases {
+		bp, err := Bind(c.pred, tbl)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got := evalAll(t, tbl, bp)
+		want := refEval(b, c.ref)
+		if !sameRows(got, want) {
+			t.Errorf("case %d (%s): got %d rows want %d", i, c.pred.Key(), len(got), len(want))
+		}
+	}
+}
+
+func TestFractionalLiteralOnIntColumn(t *testing.T) {
+	tbl, b := testTable(t, 2000, 2)
+	bp, err := Bind(Cmp("qty", Gt, Float(24.5)), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalAll(t, tbl, bp)
+	want := refEval(b, func(r int) bool { return float64(b.Cols[0].Ints[r]) > 24.5 })
+	if !sameRows(got, want) {
+		t.Fatalf("got %d want %d rows", len(got), len(want))
+	}
+	// Integral float literal folds to the int path.
+	bp2, err := Bind(Cmp("qty", Eq, Float(24)), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := evalAll(t, tbl, bp2)
+	want2 := refEval(b, func(r int) bool { return b.Cols[0].Ints[r] == 24 })
+	if !sameRows(got2, want2) {
+		t.Fatal("integral float literal mismatch")
+	}
+}
+
+func TestBetweenInAndLike(t *testing.T) {
+	tbl, b := testTable(t, 3000, 3)
+	cases := []struct {
+		pred Pred
+		ref  func(row int) bool
+	}{
+		{Between("qty", Int(10), Int(20)), func(r int) bool {
+			v := b.Cols[0].Ints[r]
+			return v >= 10 && v <= 20
+		}},
+		{Between("price", Float(5), Float(6)), func(r int) bool {
+			v := b.Cols[1].Floats[r]
+			return v >= 5 && v <= 6
+		}},
+		{Between("mode", Str("MAIL"), Str("SHIP")), func(r int) bool {
+			v := b.Cols[2].Strings[r]
+			return v >= "MAIL" && v <= "SHIP"
+		}},
+		{In("qty", Int(1), Int(2), Int(3)), func(r int) bool {
+			v := b.Cols[0].Ints[r]
+			return v >= 1 && v <= 3
+		}},
+		{In("mode", Str("AIR"), Str("RAIL")), func(r int) bool {
+			v := b.Cols[2].Strings[r]
+			return v == "AIR" || v == "RAIL"
+		}},
+		{Like("mode", "%AI%"), func(r int) bool { return strings.Contains(b.Cols[2].Strings[r], "AI") }},
+		{NotLike("mode", "%AI%"), func(r int) bool { return !strings.Contains(b.Cols[2].Strings[r], "AI") }},
+		{Like("mode", "_AIL"), func(r int) bool {
+			v := b.Cols[2].Strings[r]
+			return len(v) == 4 && v[1:] == "AIL"
+		}},
+	}
+	for i, c := range cases {
+		bp, err := Bind(c.pred, tbl)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got := evalAll(t, tbl, bp)
+		want := refEval(b, c.ref)
+		if !sameRows(got, want) {
+			t.Errorf("case %d (%s): got %d rows want %d", i, c.pred.Key(), len(got), len(want))
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	tbl, b := testTable(t, 3000, 4)
+	p := And(
+		Or(Cmp("qty", Lt, Int(10)), Cmp("qty", Gt, Int(40))),
+		Not(Cmp("mode", Eq, Str("TRUCK"))),
+		Cmp("price", Ge, Float(20)),
+	)
+	bp, err := Bind(p, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalAll(t, tbl, bp)
+	want := refEval(b, func(r int) bool {
+		q := b.Cols[0].Ints[r]
+		return (q < 10 || q > 40) && b.Cols[2].Strings[r] != "TRUCK" && b.Cols[1].Floats[r] >= 20
+	})
+	if !sameRows(got, want) {
+		t.Fatalf("got %d want %d rows", len(got), len(want))
+	}
+}
+
+func TestCmpColsPredicate(t *testing.T) {
+	tbl, b := testTable(t, 2000, 5)
+	bp, err := Bind(CmpCols("qty", Lt, "day"), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalAll(t, tbl, bp)
+	want := refEval(b, func(r int) bool { return b.Cols[0].Ints[r] < b.Cols[3].Ints[r] })
+	if !sameRows(got, want) {
+		t.Fatal("cmpcols mismatch")
+	}
+	if _, err := Bind(CmpCols("mode", Lt, "qty"), tbl); err == nil {
+		t.Fatal("string cmpcols accepted")
+	}
+	if _, err := Bind(CmpCols("qty", Lt, "price"), tbl); err == nil {
+		t.Fatal("mixed-type cmpcols accepted")
+	}
+}
+
+func TestUnknownStringLiteral(t *testing.T) {
+	tbl, _ := testTable(t, 100, 6)
+	bp, err := Bind(Cmp("mode", Eq, Str("ZEPPELIN")), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evalAll(t, tbl, bp); len(got) != 0 {
+		t.Fatal("eq on unknown string matched rows")
+	}
+	bp, err = Bind(Cmp("mode", Ne, Str("ZEPPELIN")), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evalAll(t, tbl, bp); len(got) != 100 {
+		t.Fatal("ne on unknown string should match all rows")
+	}
+	bp, err = Bind(In("mode", Str("ZEPPELIN")), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evalAll(t, tbl, bp); len(got) != 0 {
+		t.Fatal("in with unknown strings matched rows")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tbl, _ := testTable(t, 10, 7)
+	bad := []Pred{
+		Cmp("nope", Eq, Int(1)),
+		Cmp("mode", Eq, Int(1)),
+		Cmp("qty", Eq, Str("x")),
+		Between("mode", Int(1), Int(2)),
+		In("qty", Str("x")),
+		Like("qty", "%"),
+		And(Cmp("nope", Eq, Int(1)), Cmp("qty", Eq, Int(1))),
+		Or(Cmp("nope", Eq, Int(1))),
+		Not(Cmp("nope", Eq, Int(1))),
+	}
+	for i, p := range bad {
+		if _, err := Bind(p, tbl); err == nil {
+			t.Errorf("case %d (%s): bind succeeded", i, p.Key())
+		}
+	}
+}
+
+type fakeBounds struct {
+	imin, imax int64
+	fmin, fmax float64
+	iok, fok   bool
+}
+
+func (f fakeBounds) IntBounds(int) (int64, int64, bool)       { return f.imin, f.imax, f.iok }
+func (f fakeBounds) FloatBounds(int) (float64, float64, bool) { return f.fmin, f.fmax, f.fok }
+
+func TestZoneMapPruning(t *testing.T) {
+	tbl, _ := testTable(t, 100, 8)
+	mustBind := func(p Pred) Bound {
+		bp, err := Bind(p, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bp
+	}
+	b10to20 := fakeBounds{imin: 10, imax: 20, iok: true, fmin: 10, fmax: 20, fok: true}
+	cases := []struct {
+		pred Pred
+		skip bool
+	}{
+		{Cmp("qty", Eq, Int(5)), true},
+		{Cmp("qty", Eq, Int(15)), false},
+		{Cmp("qty", Lt, Int(10)), true},
+		{Cmp("qty", Lt, Int(11)), false},
+		{Cmp("qty", Le, Int(9)), true},
+		{Cmp("qty", Le, Int(10)), false},
+		{Cmp("qty", Gt, Int(20)), true},
+		{Cmp("qty", Ge, Int(21)), true},
+		{Cmp("qty", Ge, Int(20)), false},
+		{Between("qty", Int(30), Int(40)), true},
+		{Between("qty", Int(0), Int(9)), true},
+		{Between("qty", Int(0), Int(10)), false},
+		{In("qty", Int(1), Int(2)), true},
+		{In("qty", Int(1), Int(15)), false},
+		{Cmp("price", Gt, Float(20)), true},
+		{Cmp("price", Gt, Float(19)), false},
+		{And(Cmp("qty", Eq, Int(15)), Cmp("price", Gt, Float(25))), true},
+		{And(Cmp("qty", Eq, Int(15)), Cmp("price", Gt, Float(15))), false},
+		{Or(Cmp("qty", Eq, Int(5)), Cmp("qty", Eq, Int(6))), true},
+		{Or(Cmp("qty", Eq, Int(5)), Cmp("qty", Eq, Int(15))), false},
+		{Not(Cmp("qty", Eq, Int(5))), false}, // negation never prunes
+		// Equality on a dictionary code is sound to prune: codes are stable
+		// within a table, so block code bounds exclude the literal's code
+		// (only 5 distinct modes exist, codes 0..4, outside [10,20]).
+		{Cmp("mode", Eq, Str("AIR")), true},
+		{Cmp("mode", Ge, Str("AIR")), false}, // string ordering never prunes
+		{In("mode", Str("AIR"), Str("MAIL")), false},
+		{Like("mode", "A%"), false},     // like never prunes
+		{Cmp("qty", Ne, Int(5)), false}, // min!=max
+		{TruePred{}, false},
+	}
+	for i, c := range cases {
+		if got := mustBind(c.pred).Prune(b10to20); got != c.skip {
+			t.Errorf("case %d (%s): prune=%v want %v", i, c.pred.Key(), got, c.skip)
+		}
+	}
+	// Ne prunes only a constant block equal to the literal.
+	constBlock := fakeBounds{imin: 5, imax: 5, iok: true}
+	if !mustBind(Cmp("qty", Ne, Int(5))).Prune(constBlock) {
+		t.Error("Ne should prune a constant block")
+	}
+	// CmpCols pruning.
+	type colsBounds struct{ fakeBounds }
+	cb := struct{ fakeBounds }{fakeBounds{iok: true}}
+	_ = cb
+	_ = colsBounds{}
+}
+
+type twoColBounds struct {
+	a, b [2]int64
+}
+
+func (t twoColBounds) IntBounds(col int) (int64, int64, bool) {
+	if col == 0 {
+		return t.a[0], t.a[1], true
+	}
+	return t.b[0], t.b[1], true
+}
+func (t twoColBounds) FloatBounds(int) (float64, float64, bool) { return 0, 0, false }
+
+func TestCmpColsPruning(t *testing.T) {
+	tbl, _ := testTable(t, 10, 9)
+	bp, err := Bind(CmpCols("qty", Lt, "day"), tbl) // col 0 < col 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	// qty in [50,60], day in [10,20]: qty < day impossible.
+	type bounds struct{ twoColBounds }
+	skip := twoColBounds{a: [2]int64{50, 60}, b: [2]int64{10, 20}}
+	_ = bounds{}
+	// Note: bound uses column indexes 0 and 3; twoColBounds maps col 0 -> a,
+	// anything else -> b.
+	if !bp.Prune(skip) {
+		t.Fatal("should prune when ranges cannot satisfy a<b")
+	}
+	keep := twoColBounds{a: [2]int64{10, 20}, b: [2]int64{15, 30}}
+	if bp.Prune(keep) {
+		t.Fatal("should not prune overlapping ranges")
+	}
+}
+
+func TestPredicateKeysStable(t *testing.T) {
+	p1 := And(Cmp("a", Eq, Float(0.1)), Cmp("b", Ge, Int(40)))
+	p2 := And(Cmp("a", Eq, Float(0.1)), Cmp("b", Ge, Int(40)))
+	if p1.Key() != p2.Key() {
+		t.Fatal("identical predicates produced different keys")
+	}
+	if p1.Key() != "(and (= a 0.1) (>= b 40))" {
+		t.Fatalf("unexpected key %q", p1.Key())
+	}
+	// IN lists are canonicalized by sorting.
+	if In("c", Int(2), Int(1)).Key() != In("c", Int(1), Int(2)).Key() {
+		t.Fatal("IN key not canonical")
+	}
+	if (TruePred{}).Key() != "(true)" {
+		t.Fatal("true key")
+	}
+	if Not(Cmp("a", Lt, Int(3))).Key() != "(not (< a 3))" {
+		t.Fatal("not key")
+	}
+	if Like("s", "x%").Key() != `(like s "x%")` {
+		t.Fatalf("like key %q", Like("s", "x%").Key())
+	}
+	if CmpCols("a", Le, "b").Key() != "(<= a b)" {
+		t.Fatal("cmpcols key")
+	}
+	if Between("d", DateLit("1995-01-01"), DateLit("1995-01-31")).Key() == "" {
+		t.Fatal("between key empty")
+	}
+}
+
+func TestAndOrFlattening(t *testing.T) {
+	inner := And(Cmp("a", Eq, Int(1)), Cmp("b", Eq, Int(2)))
+	outer := And(inner, Cmp("c", Eq, Int(3)))
+	if ap, ok := outer.(*AndPred); !ok || len(ap.Children) != 3 {
+		t.Fatalf("and not flattened: %s", outer.Key())
+	}
+	if !IsTrue(And()) {
+		t.Fatal("empty And should be true")
+	}
+	if And(TruePred{}, Cmp("a", Eq, Int(1))).Key() != "(= a 1)" {
+		t.Fatal("single-child And should unwrap")
+	}
+	o := Or(Or(Cmp("a", Eq, Int(1)), Cmp("a", Eq, Int(2))), Cmp("a", Eq, Int(3)))
+	if op, ok := o.(*OrPred); !ok || len(op.Children) != 3 {
+		t.Fatal("or not flattened")
+	}
+	if Or(Cmp("a", Eq, Int(1))).Key() != "(= a 1)" {
+		t.Fatal("single-child Or should unwrap")
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	p := And(
+		Cmp("a", Eq, Int(1)),
+		Or(Between("b", Int(1), Int(2)), In("c", Int(1))),
+		Not(Like("d", "%x%")),
+		CmpCols("e", Lt, "f"),
+	)
+	cols := p.Columns(nil)
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	if len(cols) != len(want) {
+		t.Fatalf("cols %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("cols %v", cols)
+		}
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "abc", true},
+		{"", "", true},
+		{"", "a", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a%", "abc", true},
+		{"a%", "bac", false},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"%x%", "abc", false},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"a__", "abc", true},
+		{"%ab%cd%", "xxabyycdzz", true},
+		{"%ab%cd%", "xxcdyyabzz", false},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "acb", false},
+		{"%%", "x", true},
+		{"_", "x", true},
+		{"_", "", false},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.pattern, c.s); got != c.want {
+			t.Errorf("MatchLike(%q,%q)=%v want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestMatchLikeQuick(t *testing.T) {
+	// Property: LIKE with pattern %s% agrees with strings.Contains for
+	// wildcard-free s.
+	f := func(body, hay string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, body)
+		return MatchLike("%"+clean+"%", hay) == strings.Contains(hay, clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarEval(t *testing.T) {
+	tbl, b := testTable(t, 2000, 10)
+	// qty * (price - 1)
+	s := Arith(Col("qty"), Mul, Arith(Col("price"), Sub, Const(Float(1))))
+	bs, err := BindScalar(s, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Out() != storage.Float64 {
+		t.Fatal("arith should be float")
+	}
+	ctx := blockCtxFor(tbl, 0)
+	sel := firstBlockSel(tbl)
+	out := make([]float64, len(sel))
+	bs.EvalF(ctx, sel, out)
+	for i, r := range sel {
+		want := float64(b.Cols[0].Ints[r]) * (b.Cols[1].Floats[r] - 1)
+		if out[i] != want {
+			t.Fatalf("row %d: got %f want %f", r, out[i], want)
+		}
+	}
+}
+
+func TestScalarCase(t *testing.T) {
+	tbl, b := testTable(t, 1000, 11)
+	s := Case(Cmp("mode", Eq, Str("AIR")), Col("price"), Const(Float(0)))
+	bs, err := BindScalar(s, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := blockCtxFor(tbl, 0)
+	sel := firstBlockSel(tbl)
+	out := make([]float64, len(sel))
+	bs.EvalF(ctx, sel, out)
+	for i, r := range sel {
+		want := 0.0
+		if b.Cols[2].Strings[r] == "AIR" {
+			want = b.Cols[1].Floats[r]
+		}
+		if out[i] != want {
+			t.Fatalf("row %d: got %f want %f", r, out[i], want)
+		}
+	}
+}
+
+func TestScalarIntPath(t *testing.T) {
+	tbl, b := testTable(t, 1000, 12)
+	bs, err := BindScalar(Col("qty"), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.Out().IsInt() {
+		t.Fatal("colref on int column should be int")
+	}
+	ctx := blockCtxFor(tbl, 0)
+	sel := firstBlockSel(tbl)
+	out := make([]int64, len(sel))
+	bs.EvalI(ctx, sel, out)
+	for i, r := range sel {
+		if out[i] != b.Cols[0].Ints[r] {
+			t.Fatal("EvalI mismatch")
+		}
+	}
+	// Constant int scalar.
+	cs, err := BindScalar(Const(Int(7)), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cout := make([]int64, len(sel))
+	cs.EvalI(ctx, sel, cout)
+	if cout[0] != 7 || cout[len(cout)-1] != 7 {
+		t.Fatal("const EvalI mismatch")
+	}
+}
+
+func TestScalarKeysAndColumns(t *testing.T) {
+	s := Arith(Col("a"), Add, Case(Cmp("b", Gt, Int(1)), Col("c"), Const(Int(0))))
+	if s.Key() != "(+ a (case (> b 1) c 0))" {
+		t.Fatalf("key %q", s.Key())
+	}
+	cols := s.ScalarColumns(nil)
+	if fmt.Sprint(cols) != "[a b c]" {
+		t.Fatalf("cols %v", cols)
+	}
+}
+
+func TestScalarBindErrors(t *testing.T) {
+	tbl, _ := testTable(t, 10, 13)
+	if _, err := BindScalar(Col("nope"), tbl); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := BindScalar(Arith(Col("nope"), Add, Col("qty")), tbl); err == nil {
+		t.Fatal("bad arith accepted")
+	}
+	if _, err := BindScalar(Case(Cmp("nope", Eq, Int(1)), Col("qty"), Col("qty")), tbl); err == nil {
+		t.Fatal("bad case accepted")
+	}
+	if _, err := BindScalar(Const(Str("x")), tbl); err == nil {
+		t.Fatal("string const accepted")
+	}
+}
+
+// blockCtxFor loads block 0 of slice 0 into a fresh context.
+func blockCtxFor(tbl *storage.Table, blk int) *BlockCtx {
+	ctx := NewBlockCtx(len(tbl.Schema()), dictsOf(tbl))
+	s := tbl.Slice(0)
+	n := s.NumRows() - blk*storage.BlockSize
+	if n > storage.BlockSize {
+		n = storage.BlockSize
+	}
+	ctx.N = n
+	for ci, def := range tbl.Schema() {
+		if def.Type == storage.Float64 {
+			v := make([]float64, storage.BlockSize)
+			s.Column(ci).ReadFloatBlock(blk, v)
+			ctx.SetFloat(ci, v)
+		} else {
+			v := make([]int64, storage.BlockSize)
+			s.Column(ci).ReadIntBlock(blk, v)
+			ctx.SetInt(ci, v)
+		}
+	}
+	return ctx
+}
+
+func firstBlockSel(tbl *storage.Table) []int {
+	n := tbl.Slice(0).NumRows()
+	if n > storage.BlockSize {
+		n = storage.BlockSize
+	}
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}
+
+// Property test: random predicate trees evaluate identically to row-by-row
+// reference evaluation.
+func TestRandomPredicateTreesQuick(t *testing.T) {
+	tbl, b := testTable(t, 4000, 14)
+	r := rand.New(rand.NewSource(99))
+	modes := []string{"AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "NONE"}
+
+	var genPred func(depth int) (Pred, func(int) bool)
+	genPred = func(depth int) (Pred, func(int) bool) {
+		if depth > 0 && r.Intn(2) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				l, lf := genPred(depth - 1)
+				rr, rf := genPred(depth - 1)
+				return And(l, rr), func(i int) bool { return lf(i) && rf(i) }
+			case 1:
+				l, lf := genPred(depth - 1)
+				rr, rf := genPred(depth - 1)
+				return Or(l, rr), func(i int) bool { return lf(i) || rf(i) }
+			default:
+				c, cf := genPred(depth - 1)
+				return Not(c), func(i int) bool { return !cf(i) }
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			v := int64(r.Intn(52))
+			op := CmpOp(r.Intn(6))
+			return Cmp("qty", op, Int(v)), func(i int) bool { return cmpInt(op, b.Cols[0].Ints[i], v) }
+		case 1:
+			v := float64(r.Intn(100))
+			op := CmpOp(r.Intn(6))
+			return Cmp("price", op, Float(v)), func(i int) bool { return cmpFloat(op, b.Cols[1].Floats[i], v) }
+		case 2:
+			m := modes[r.Intn(len(modes))]
+			return Cmp("mode", Eq, Str(m)), func(i int) bool { return b.Cols[2].Strings[i] == m }
+		default:
+			lo := int64(9000 + r.Intn(300))
+			hi := lo + int64(r.Intn(100))
+			return Between("day", Int(lo), Int(hi)), func(i int) bool {
+				v := b.Cols[3].Ints[i]
+				return v >= lo && v <= hi
+			}
+		}
+	}
+
+	for iter := 0; iter < 60; iter++ {
+		p, ref := genPred(3)
+		bp, err := Bind(p, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := evalAll(t, tbl, bp)
+		want := refEval(b, ref)
+		if !sameRows(got, want) {
+			t.Fatalf("iter %d (%s): got %d rows want %d", iter, p.Key(), len(got), len(want))
+		}
+	}
+}
+
+func TestConjunctOrderCanonicalization(t *testing.T) {
+	a := Cmp("x", Eq, Int(1))
+	b := Between("y", Int(2), Int(3))
+	if And(a, b).Key() != And(b, a).Key() {
+		t.Fatal("conjunct order changes the key")
+	}
+	if Or(a, b).Key() != Or(b, a).Key() {
+		t.Fatal("disjunct order changes the key")
+	}
+	// Nested structures canonicalize recursively.
+	n1 := And(Or(a, b), Cmp("z", Lt, Int(9)))
+	n2 := And(Cmp("z", Lt, Int(9)), Or(b, a))
+	if n1.Key() != n2.Key() {
+		t.Fatal("nested canonicalization failed")
+	}
+}
+
+func TestBlockCtxAccessors(t *testing.T) {
+	tbl, _ := testTable(t, 10, 30)
+	ctx := blockCtxFor(tbl, 0)
+	if ctx.Ints(0) == nil || ctx.Floats(1) == nil || ctx.Dict(2) == nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestPruneEdgeCases(t *testing.T) {
+	tbl, _ := testTable(t, 100, 31)
+	mustBind := func(p Pred) Bound {
+		bp, err := Bind(p, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bp
+	}
+	b := fakeBounds{imin: 10, imax: 20, fmin: 10, fmax: 20, iok: true, fok: true}
+	noBounds := fakeBounds{}
+	cases := []struct {
+		pred Pred
+		bp   BoundsProvider
+		skip bool
+	}{
+		// Float prune paths.
+		{Cmp("price", Eq, Float(5)), b, true},
+		{Cmp("price", Ne, Float(5)), b, false},
+		{Cmp("price", Lt, Float(10)), b, true},
+		{Cmp("price", Le, Float(9.9)), b, true},
+		{Cmp("price", Ge, Float(20.1)), b, true},
+		{Between("price", Float(30), Float(40)), b, true},
+		{Between("price", Float(15), Float(40)), b, false},
+		{In("price", Float(1), Float(2)), b, true},
+		{In("price", Float(15)), b, false},
+		// Fractional literal on int column.
+		{Cmp("qty", Eq, Float(5.5)), b, true},
+		{Cmp("qty", Ne, Float(5.5)), b, false},
+		{Cmp("qty", Lt, Float(9.5)), b, true},
+		{Cmp("qty", Le, Float(9.5)), b, true},
+		{Cmp("qty", Gt, Float(20.5)), b, true},
+		{Cmp("qty", Ge, Float(20.5)), b, true},
+		// Missing bounds never prune.
+		{Cmp("qty", Eq, Int(5)), noBounds, false},
+		{Cmp("price", Eq, Float(5)), noBounds, false},
+		{Between("qty", Int(1), Int(2)), noBounds, false},
+		{Between("price", Float(1), Float(2)), noBounds, false},
+		{In("qty", Int(1)), noBounds, false},
+		{In("price", Float(1)), noBounds, false},
+		{CmpCols("qty", Lt, "day"), noBounds, false},
+	}
+	for i, c := range cases {
+		if got := mustBind(c.pred).Prune(c.bp); got != c.skip {
+			t.Errorf("case %d (%s): prune=%v want %v", i, c.pred.Key(), got, c.skip)
+		}
+	}
+	// A constant float block equal to the literal prunes Ne.
+	constF := fakeBounds{fmin: 5, fmax: 5, fok: true}
+	if !mustBind(Cmp("price", Ne, Float(5))).Prune(constF) {
+		t.Error("float Ne on constant block should prune")
+	}
+	// CmpCols float pruning.
+	type fcb struct{ twoColBounds }
+	_ = fcb{}
+}
+
+func TestCmpColsFloatEval(t *testing.T) {
+	schema := storage.Schema{{Name: "a", Type: storage.Float64}, {Name: "b", Type: storage.Float64}}
+	tbl, err := storage.NewTable("f", schema, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := storage.NewBatch(schema)
+	for i := 0; i < 500; i++ {
+		batch.Cols[0].Floats = append(batch.Cols[0].Floats, float64(i%10))
+		batch.Cols[1].Floats = append(batch.Cols[1].Floats, float64(i%7))
+	}
+	batch.N = 500
+	if err := tbl.Append(batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	bp, err := Bind(CmpCols("a", Gt, "b"), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewBlockCtx(2, []*storage.Dict{nil, nil})
+	va := make([]float64, storage.BlockSize)
+	vb := make([]float64, storage.BlockSize)
+	tbl.Slice(0).Column(0).ReadFloatBlock(0, va)
+	tbl.Slice(0).Column(1).ReadFloatBlock(0, vb)
+	ctx.SetFloat(0, va)
+	ctx.SetFloat(1, vb)
+	ctx.N = 500
+	sel := make([]int, 500)
+	for i := range sel {
+		sel[i] = i
+	}
+	out := bp.Eval(ctx, sel)
+	want := 0
+	for i := 0; i < 500; i++ {
+		if float64(i%10) > float64(i%7) {
+			want++
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("got %d want %d", len(out), want)
+	}
+	// Float cmpcols pruning: a-range entirely above b-range.
+	type floatBounds struct{ a, b [2]float64 }
+	fb := struct{ floatBounds }{floatBounds{a: [2]float64{50, 60}, b: [2]float64{0, 10}}}
+	_ = fb
+	prA := floatColsBounds{a: [2]float64{0, 10}, b: [2]float64{50, 60}}
+	if !bp.Prune(prA) {
+		t.Fatal("a<b everywhere: a>b should prune")
+	}
+	prB := floatColsBounds{a: [2]float64{0, 100}, b: [2]float64{50, 60}}
+	if bp.Prune(prB) {
+		t.Fatal("overlapping float ranges pruned")
+	}
+}
+
+type floatColsBounds struct{ a, b [2]float64 }
+
+func (f floatColsBounds) IntBounds(int) (int64, int64, bool) { return 0, 0, false }
+func (f floatColsBounds) FloatBounds(col int) (float64, float64, bool) {
+	if col == 0 {
+		return f.a[0], f.a[1], true
+	}
+	return f.b[0], f.b[1], true
+}
+
+func TestScalarYearAndConstFloat(t *testing.T) {
+	tbl, b := testTable(t, 500, 32)
+	ys, err := BindScalar(Year(Col("day")), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ys.Out().IsInt() {
+		t.Fatal("year should be int")
+	}
+	ctx := blockCtxFor(tbl, 0)
+	sel := firstBlockSel(tbl)
+	out := make([]int64, len(sel))
+	ys.EvalI(ctx, sel, out)
+	fout := make([]float64, len(sel))
+	ys.EvalF(ctx, sel, fout)
+	for i, r := range sel {
+		y, _, _ := storage.YMDFromDate(b.Cols[3].Ints[r])
+		if out[i] != int64(y) || fout[i] != float64(y) {
+			t.Fatalf("year mismatch at %d", r)
+		}
+	}
+	if _, err := BindScalar(Year(Col("price")), tbl); err == nil {
+		t.Fatal("year on float accepted")
+	}
+	// Float constant.
+	cs, err := BindScalar(Const(Float(2.5)), tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Out() != storage.Float64 {
+		t.Fatal("float const type")
+	}
+	cf := make([]float64, len(sel))
+	cs.EvalF(ctx, sel, cf)
+	if cf[0] != 2.5 {
+		t.Fatal("const eval")
+	}
+	// Arith ops coverage: + - /.
+	for _, op := range []ArithOp{Add, Sub, Div} {
+		as, err := BindScalar(Arith(Col("price"), op, Const(Float(2))), tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		av := make([]float64, len(sel))
+		as.EvalF(ctx, sel, av)
+	}
+	if Add.String() != "+" || Sub.String() != "-" || Mul.String() != "*" || Div.String() != "/" {
+		t.Fatal("arith names")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	names := map[CmpOp]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%v", op)
+		}
+	}
+	if CmpOp(99).String() == "" {
+		t.Fatal("unknown op string empty")
+	}
+	if Int(3).String() != "3" || Str("x").String() != `"x"` {
+		t.Fatal("value strings")
+	}
+}
+
+func TestIsTrueAndTrueColumns(t *testing.T) {
+	if !IsTrue(TruePred{}) || !IsTrue(&TruePred{}) || IsTrue(Cmp("a", Eq, Int(1))) {
+		t.Fatal("IsTrue")
+	}
+	if len((TruePred{}).Columns(nil)) != 0 {
+		t.Fatal("true columns")
+	}
+	if len((&NotPred{Child: TruePred{}}).Columns(nil)) != 0 {
+		t.Fatal("not columns")
+	}
+}

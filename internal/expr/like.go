@@ -1,0 +1,32 @@
+package expr
+
+// MatchLike implements SQL LIKE matching: '%' matches any (possibly empty)
+// substring, '_' matches exactly one byte. Matching is byte-wise (the
+// generated benchmark data is ASCII).
+func MatchLike(pattern, s string) bool {
+	// Iterative two-pointer algorithm with backtracking to the last '%'.
+	var pi, si int
+	star := -1
+	starSi := 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			starSi = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

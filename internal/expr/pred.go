@@ -1,0 +1,224 @@
+package expr
+
+import (
+	"sort"
+	"strings"
+)
+
+// Pred is an unbound predicate over the columns of a single table. Unbound
+// predicates are pure syntax: they render to canonical keys and bind against
+// a concrete table to become executable.
+type Pred interface {
+	// Key returns the canonical text form used as the predicate-cache key.
+	Key() string
+	// Columns appends the referenced column names to dst and returns it.
+	Columns(dst []string) []string
+}
+
+// --- node types ---
+
+// CmpPred compares a column against a literal.
+type CmpPred struct {
+	Col string
+	Op  CmpOp
+	Val Value
+}
+
+// CmpColsPred compares two columns of the same table.
+type CmpColsPred struct {
+	ColA string
+	Op   CmpOp
+	ColB string
+}
+
+// BetweenPred is Col between Lo and Hi (inclusive on both ends, as in SQL).
+type BetweenPred struct {
+	Col    string
+	Lo, Hi Value
+}
+
+// InPred is Col in (Vals...).
+type InPred struct {
+	Col  string
+	Vals []Value
+}
+
+// LikePred is a SQL LIKE pattern match with % and _ wildcards.
+type LikePred struct {
+	Col     string
+	Pattern string
+	Negate  bool
+}
+
+// AndPred is a conjunction.
+type AndPred struct{ Children []Pred }
+
+// OrPred is a disjunction.
+type OrPred struct{ Children []Pred }
+
+// NotPred is a negation.
+type NotPred struct{ Child Pred }
+
+// TruePred matches every row (a scan without a filter).
+type TruePred struct{}
+
+// --- constructors ---
+
+// Cmp builds a comparison predicate.
+func Cmp(col string, op CmpOp, val Value) *CmpPred { return &CmpPred{Col: col, Op: op, Val: val} }
+
+// CmpCols builds a column-column comparison.
+func CmpCols(a string, op CmpOp, b string) *CmpColsPred {
+	return &CmpColsPred{ColA: a, Op: op, ColB: b}
+}
+
+// Between builds a between predicate.
+func Between(col string, lo, hi Value) *BetweenPred { return &BetweenPred{Col: col, Lo: lo, Hi: hi} }
+
+// In builds an in-list predicate.
+func In(col string, vals ...Value) *InPred { return &InPred{Col: col, Vals: vals} }
+
+// Like builds a LIKE predicate.
+func Like(col, pattern string) *LikePred { return &LikePred{Col: col, Pattern: pattern} }
+
+// NotLike builds a NOT LIKE predicate.
+func NotLike(col, pattern string) *LikePred {
+	return &LikePred{Col: col, Pattern: pattern, Negate: true}
+}
+
+// And conjoins predicates, flattening nested conjunctions and dropping
+// TruePreds. And() with no arguments is TruePred.
+func And(children ...Pred) Pred {
+	var flat []Pred
+	for _, c := range children {
+		switch t := c.(type) {
+		case *AndPred:
+			flat = append(flat, t.Children...)
+		case TruePred, *TruePred:
+			// drop
+		case nil:
+			// drop
+		default:
+			flat = append(flat, c)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return TruePred{}
+	case 1:
+		return flat[0]
+	}
+	return &AndPred{Children: flat}
+}
+
+// Or disjoins predicates.
+func Or(children ...Pred) Pred {
+	var flat []Pred
+	for _, c := range children {
+		if t, ok := c.(*OrPred); ok {
+			flat = append(flat, t.Children...)
+			continue
+		}
+		if c == nil {
+			continue
+		}
+		flat = append(flat, c)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &OrPred{Children: flat}
+}
+
+// Not negates a predicate.
+func Not(child Pred) Pred { return &NotPred{Child: child} }
+
+// --- canonical keys ---
+
+func (p *CmpPred) Key() string { return "(" + p.Op.String() + " " + p.Col + " " + p.Val.key() + ")" }
+
+func (p *CmpColsPred) Key() string {
+	return "(" + p.Op.String() + " " + p.ColA + " " + p.ColB + ")"
+}
+
+func (p *BetweenPred) Key() string {
+	return "(between " + p.Col + " " + p.Lo.key() + " " + p.Hi.key() + ")"
+}
+
+func (p *InPred) Key() string {
+	parts := make([]string, len(p.Vals))
+	for i, v := range p.Vals {
+		parts[i] = v.key()
+	}
+	// Sort the list so that semantically identical IN lists share a key.
+	sort.Strings(parts)
+	return "(in " + p.Col + " [" + strings.Join(parts, " ") + "])"
+}
+
+func (p *LikePred) Key() string {
+	op := "like"
+	if p.Negate {
+		op = "not-like"
+	}
+	return "(" + op + " " + p.Col + " " + Str(p.Pattern).key() + ")"
+}
+
+// Key canonicalizes conjunct order so that semantically identical
+// conjunctions share a cache key regardless of how the query spelled them —
+// a lightweight version of the predicate normalization the paper leaves to
+// future work ("SMT solvers can simplify and normalize the predicates ...
+// increasing the hit rate", §4.1).
+func (p *AndPred) Key() string {
+	parts := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		parts[i] = c.Key()
+	}
+	sort.Strings(parts)
+	return "(and " + strings.Join(parts, " ") + ")"
+}
+
+// Key canonicalizes disjunct order, mirroring AndPred.Key.
+func (p *OrPred) Key() string {
+	parts := make([]string, len(p.Children))
+	for i, c := range p.Children {
+		parts[i] = c.Key()
+	}
+	sort.Strings(parts)
+	return "(or " + strings.Join(parts, " ") + ")"
+}
+
+func (p *NotPred) Key() string { return "(not " + p.Child.Key() + ")" }
+
+// Key of TruePred is the empty conjunction.
+func (TruePred) Key() string { return "(true)" }
+
+// --- column collection ---
+
+func (p *CmpPred) Columns(dst []string) []string     { return append(dst, p.Col) }
+func (p *CmpColsPred) Columns(dst []string) []string { return append(dst, p.ColA, p.ColB) }
+func (p *BetweenPred) Columns(dst []string) []string { return append(dst, p.Col) }
+func (p *InPred) Columns(dst []string) []string      { return append(dst, p.Col) }
+func (p *LikePred) Columns(dst []string) []string    { return append(dst, p.Col) }
+func (p *AndPred) Columns(dst []string) []string {
+	for _, c := range p.Children {
+		dst = c.Columns(dst)
+	}
+	return dst
+}
+func (p *OrPred) Columns(dst []string) []string {
+	for _, c := range p.Children {
+		dst = c.Columns(dst)
+	}
+	return dst
+}
+func (p *NotPred) Columns(dst []string) []string { return p.Child.Columns(dst) }
+func (TruePred) Columns(dst []string) []string   { return dst }
+
+// IsTrue reports whether p is the match-everything predicate.
+func IsTrue(p Pred) bool {
+	switch p.(type) {
+	case TruePred, *TruePred:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+// Package expr provides the predicate and scalar expression trees used by
+// the query engine's scans, joins, and aggregations.
+//
+// Predicates are the unit the predicate cache keys on: every predicate has a
+// deterministic canonical text form (Key) — the equivalent of the paper's
+// "string representation using the optimizer's representation" (§4.1) —
+// and a vectorized evaluator over decompressed column blocks. Predicates
+// also implement zone-map pruning, step (1) of the two-step scan process.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Kind discriminates literal value kinds.
+type Kind uint8
+
+const (
+	// KindInt is an integer, date (day number), or boolean literal.
+	KindInt Kind = iota
+	// KindFloat is a floating-point literal.
+	KindFloat
+	// KindString is a string literal.
+	KindString
+)
+
+// Value is a literal constant inside an expression.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an integer literal.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Float returns a float literal.
+func Float(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// Str returns a string literal.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// DateLit parses a YYYY-MM-DD date literal; it panics on malformed input
+// (date literals in this codebase are compile-time constants).
+func DateLit(s string) Value {
+	d, err := storage.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return Value{Kind: KindInt, I: d}
+}
+
+// AsFloat converts the literal to float64 (strings are not convertible and
+// return NaN-free zero; callers type-check at bind time).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindFloat:
+		return v.F
+	default:
+		return float64(v.I)
+	}
+}
+
+// key renders the literal deterministically for cache keys.
+func (v Value) key() string {
+	switch v.Kind {
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.S)
+	default:
+		return strconv.FormatInt(v.I, 10)
+	}
+}
+
+func (v Value) String() string { return v.key() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return fmt.Sprintf("CmpOp(%d)", uint8(op))
+}
+
+func cmpInt(op CmpOp, a, b int64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpFloat(op CmpOp, a, b float64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpStr(op CmpOp, a, b string) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}

@@ -1,0 +1,553 @@
+// Package fleet simulates a fleet of warehouse clusters and reruns the
+// paper's workload analysis (§2) on the simulated statement streams.
+//
+// Substitution note (DESIGN.md §1): the paper analyzes telemetry from a
+// representative sample of Redshift clusters (us-east-1, January 2023),
+// which is proprietary. This simulator draws per-cluster workload
+// characteristics — statement mixes, query-template pools, instance
+// repetition, table sizes, update rates — from distributions calibrated so
+// that the fleet-level aggregates match the numbers the paper publishes
+// (Table 2's statement mix, ~71-72% average query/scan repetition, the
+// result-cache hit-rate profile of Figures 6-7). The *analysis* code is
+// faithful: repetition rates, scan extraction, and the result-cache replay
+// operate on the statement streams exactly as they would on real logs.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StatementKind classifies SQL statements the way Table 2 does.
+type StatementKind uint8
+
+const (
+	StSelect StatementKind = iota
+	StInsert
+	StCopy
+	StDelete
+	StUpdate
+	StOther
+	numKinds
+)
+
+func (k StatementKind) String() string {
+	switch k {
+	case StSelect:
+		return "select"
+	case StInsert:
+		return "insert"
+	case StCopy:
+		return "copy"
+	case StDelete:
+		return "delete"
+	case StUpdate:
+		return "update"
+	default:
+		return "other"
+	}
+}
+
+// ScanRef is one base-table scan inside a query: the table plus the textual
+// filter expression (the unit the predicate cache keys on).
+type ScanRef struct {
+	Table int
+	Pred  string
+}
+
+// Statement is one executed statement.
+type Statement struct {
+	Kind  StatementKind
+	Query string    // canonical text (selects only)
+	Table int       // primary table touched (DML)
+	Scans []ScanRef // selects only
+}
+
+// TableMeta describes one table of a cluster.
+type TableMeta struct {
+	Rows int64
+}
+
+// Cluster is one simulated warehouse.
+type Cluster struct {
+	Tables     []TableMeta
+	Statements []Statement
+	// repetitiveness is the reuse probability the cluster was drawn with
+	// (exposed for calibration tests).
+	repetitiveness float64
+	updateShare    float64
+}
+
+// Fleet is the simulated sample.
+type Fleet struct {
+	Clusters []*Cluster
+}
+
+// Config controls the simulation.
+type Config struct {
+	Clusters      int
+	MinStatements int
+	MaxStatements int
+	Seed          int64
+}
+
+// DefaultConfig simulates 200 clusters of 1,000-5,000 statements.
+func DefaultConfig() Config {
+	return Config{Clusters: 200, MinStatements: 1000, MaxStatements: 5000, Seed: 2023}
+}
+
+// Simulate draws the fleet.
+func Simulate(cfg Config) *Fleet {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fleet{}
+	for c := 0; c < cfg.Clusters; c++ {
+		f.Clusters = append(f.Clusters, simulateCluster(r, cfg))
+	}
+	return f
+}
+
+// betaish draws from a crude Beta-like distribution with the given mean and
+// spread via averaging uniforms and mixing toward extremes.
+func betaish(r *rand.Rand, mean float64) float64 {
+	v := (r.Float64() + r.Float64() + r.Float64()) / 3 // bell around 0.5
+	v = v + (mean - 0.5)
+	if r.Float64() < 0.25 { // heavy tails: some clusters are extreme
+		v = mean + (r.Float64()-0.5)*1.4
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+func simulateCluster(r *rand.Rand, cfg Config) *Cluster {
+	cl := &Cluster{}
+
+	// Tables: log-uniform sizes across the paper's four groups.
+	nTables := 3 + r.Intn(12)
+	for i := 0; i < nTables; i++ {
+		// Skewed log-uniform: small tables dominate, billion-row tables are
+		// the rare tail (as in real fleets).
+		u := r.Float64()
+		exp := 3 + 6.5*u*u
+		rows := int64(1)
+		for e := 0.0; e < exp; e++ {
+			rows *= 10
+		}
+		cl.Tables = append(cl.Tables, TableMeta{Rows: rows})
+	}
+
+	// Statement mix: drawn around the Table 2 aggregate shares
+	// (42.3/17.8/6.9/6.3/3.6/23.3). Per-cluster shares vary widely —
+	// Figure 2's point is the diversity of mixes.
+	base := []float64{0.423, 0.178, 0.069, 0.063, 0.036, 0.233}
+	mix := make([]float64, numKinds)
+	sum := 0.0
+	for i := range mix {
+		mix[i] = base[i] * (0.2 + 1.8*r.Float64())
+		sum += mix[i]
+	}
+	// A minority of clusters are read-mostly dashboards with almost no
+	// ingestion — the population Figure 7's "almost no updates" bucket
+	// (>80% result-cache hit rate) comes from. Dashboards are also the most
+	// repetitive clusters, so the flag is remembered and boosts reuse below.
+	readMostly := r.Float64() < 0.15
+	if readMostly {
+		for _, k := range []StatementKind{StInsert, StCopy, StDelete, StUpdate} {
+			sum -= mix[k] * 0.995
+			mix[k] *= 0.005
+		}
+	}
+	for i := range mix {
+		mix[i] /= sum
+	}
+	cl.updateShare = mix[StInsert] + mix[StCopy] + mix[StDelete] + mix[StUpdate]
+
+	// Query-template pool: templates have 1-3 scans each; some scan
+	// templates are shared across query templates (the same dashboard panel
+	// feeding several reports) — this is why Figure 4's scan repetition can
+	// exceed query repetition.
+	nTemplates := 5 + r.Intn(40)
+	type templ struct {
+		scans     []int // scan-template ids
+		instances []string
+	}
+	nScanTemplates := nTemplates/2 + 2
+	templates := make([]templ, nTemplates)
+	for i := range templates {
+		n := 1 + r.Intn(3)
+		seen := map[int]bool{}
+		for s := 0; s < n; s++ {
+			sc := r.Intn(nScanTemplates)
+			if seen[sc] {
+				continue // one scan per distinct expression within a query
+			}
+			seen[sc] = true
+			templates[i].scans = append(templates[i].scans, sc)
+		}
+	}
+	scanTable := make([]int, nScanTemplates)
+	for i := range scanTable {
+		scanTable[i] = r.Intn(nTables)
+	}
+
+	// Repetitiveness: mean ~0.72 with mass near 1 (Figure 1: for >50% of
+	// clusters at least 75% of queries repeat).
+	rep := betaish(r, 0.60)
+	if readMostly && rep < 0.95 {
+		rep = 0.95
+	}
+	cl.repetitiveness = rep
+
+	nStatements := cfg.MinStatements + r.Intn(cfg.MaxStatements-cfg.MinStatements+1)
+	instSeq := 0
+	for s := 0; s < nStatements; s++ {
+		// Draw the statement kind.
+		k := StOther
+		u := r.Float64()
+		acc := 0.0
+		for i := 0; i < int(numKinds); i++ {
+			acc += mix[i]
+			if u < acc {
+				k = StatementKind(i)
+				break
+			}
+		}
+		if k != StSelect {
+			cl.Statements = append(cl.Statements, Statement{Kind: k, Table: r.Intn(nTables)})
+			continue
+		}
+		ti := r.Intn(nTemplates)
+		tp := &templates[ti]
+		// Queries over the very largest tables are often ad-hoc analytics:
+		// the query *text* varies (different projections, limits, analysts)
+		// while the underlying filter predicates — the scans — keep
+		// repeating. This reproduces Figure 5: query repetition drops for
+		// extra-large tables while scan repetition stays flat.
+		isXL := false
+		for _, sc := range tp.scans {
+			if cl.Tables[scanTable[sc]].Rows >= 1_000_000_000 {
+				isXL = true
+				break
+			}
+		}
+		tplRep := rep
+		if isXL {
+			tplRep = rep * 0.7
+		}
+		reusePrev := func() string {
+			idx := len(tp.instances) - 1 - int(float64(len(tp.instances))*r.Float64()*r.Float64())
+			if idx < 0 {
+				idx = 0
+			}
+			return tp.instances[idx]
+		}
+		var inst, scanInst string
+		if len(tp.instances) > 0 && r.Float64() < tplRep {
+			// Reuse a previous instance, biased toward recent ones.
+			inst = reusePrev()
+			scanInst = inst
+		} else {
+			inst = fmt.Sprintf("t%d-i%d", ti, instSeq)
+			instSeq++
+			scanInst = inst
+			if isXL && len(tp.instances) > 0 && r.Float64() < 0.35 {
+				// Fresh ad-hoc text over a familiar filter.
+				scanInst = reusePrev()
+			} else {
+				tp.instances = append(tp.instances, inst)
+			}
+		}
+		st := Statement{Kind: StSelect, Query: fmt.Sprintf("select ... /*%s*/", inst)}
+		for _, sc := range tp.scans {
+			st.Scans = append(st.Scans, ScanRef{
+				Table: scanTable[sc],
+				Pred:  fmt.Sprintf("scan%d/%s", sc, scanInst),
+			})
+			st.Table = scanTable[sc]
+		}
+		cl.Statements = append(cl.Statements, st)
+	}
+	return cl
+}
+
+// --- analyses (Figures 1-7, Table 2) ---
+
+// repetitionRate returns the fraction of items whose key occurs >= 2 times.
+func repetitionRate(keys []string) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(keys))
+	for _, k := range keys {
+		counts[k]++
+	}
+	repeated := 0
+	for _, k := range keys {
+		if counts[k] >= 2 {
+			repeated++
+		}
+	}
+	return float64(repeated) / float64(len(keys))
+}
+
+// QueryRepetitionRates returns, per cluster, the fraction of select
+// statements that repeat within the first `window` fraction of the stream
+// (1.0 = the whole month, ~0.25 = one week). Figure 1.
+func (f *Fleet) QueryRepetitionRates(window float64) []float64 {
+	var out []float64
+	for _, cl := range f.Clusters {
+		n := int(float64(len(cl.Statements)) * window)
+		var keys []string
+		for _, st := range cl.Statements[:n] {
+			if st.Kind == StSelect {
+				keys = append(keys, st.Query)
+			}
+		}
+		out = append(out, repetitionRate(keys))
+	}
+	return out
+}
+
+// ScanRepetitionRates returns per-cluster scan repetition (Figure 4's
+// second series). Only scans with a filter are counted, as in the paper.
+func (f *Fleet) ScanRepetitionRates() []float64 {
+	var out []float64
+	for _, cl := range f.Clusters {
+		var keys []string
+		for _, st := range cl.Statements {
+			for _, sc := range st.Scans {
+				keys = append(keys, fmt.Sprintf("%d|%s", sc.Table, sc.Pred))
+			}
+		}
+		out = append(out, repetitionRate(keys))
+	}
+	return out
+}
+
+// StatementMix returns the fleet-aggregate share per statement kind
+// (Table 2) and the per-cluster select shares (Figure 2's headline series).
+func (f *Fleet) StatementMix() (aggregate map[string]float64, selectShares []float64) {
+	counts := make([]int, numKinds)
+	total := 0
+	for _, cl := range f.Clusters {
+		clSelect := 0
+		for _, st := range cl.Statements {
+			counts[st.Kind]++
+			total++
+			if st.Kind == StSelect {
+				clSelect++
+			}
+		}
+		selectShares = append(selectShares, float64(clSelect)/float64(len(cl.Statements)))
+	}
+	aggregate = make(map[string]float64, numKinds)
+	for k := 0; k < int(numKinds); k++ {
+		aggregate[StatementKind(k).String()] = float64(counts[k]) / float64(total)
+	}
+	return aggregate, selectShares
+}
+
+// ReadWriteRatios returns per-cluster write/read statement count ratios
+// (Figure 3): values < 1 mean more reads than writes.
+func (f *Fleet) ReadWriteRatios() []float64 {
+	var out []float64
+	for _, cl := range f.Clusters {
+		reads, writes := 0, 0
+		for _, st := range cl.Statements {
+			switch st.Kind {
+			case StSelect:
+				reads++
+			case StInsert, StCopy, StDelete, StUpdate:
+				writes++
+			}
+		}
+		if reads == 0 {
+			reads = 1
+		}
+		out = append(out, float64(writes)/float64(reads))
+	}
+	return out
+}
+
+// SizeClass buckets tables by row count, following Figure 5's grouping.
+type SizeClass int
+
+const (
+	SizeSmall  SizeClass = iota // < 1e6
+	SizeMedium                  // 1e6 .. 1e8
+	SizeLarge                   // 1e8 .. 1e9
+	SizeXL                      // >= 1e9
+	numSizes
+)
+
+func (s SizeClass) String() string {
+	switch s {
+	case SizeSmall:
+		return "small(<1e6)"
+	case SizeMedium:
+		return "medium(1e6-1e8)"
+	case SizeLarge:
+		return "large(1e8-1e9)"
+	default:
+		return "xl(>=1e9)"
+	}
+}
+
+func classify(rows int64) SizeClass {
+	switch {
+	case rows < 1_000_000:
+		return SizeSmall
+	case rows < 100_000_000:
+		return SizeMedium
+	case rows < 1_000_000_000:
+		return SizeLarge
+	default:
+		return SizeXL
+	}
+}
+
+// RepetitionByTableSize computes average query and scan repetition rates
+// grouped by table size (Figure 5). Queries are categorized by the largest
+// table they scan; scans individually.
+func (f *Fleet) RepetitionByTableSize() (queryRates, scanRates map[SizeClass]float64) {
+	qKeys := make(map[SizeClass][]string)
+	sKeys := make(map[SizeClass][]string)
+	for _, cl := range f.Clusters {
+		for _, st := range cl.Statements {
+			if st.Kind != StSelect || len(st.Scans) == 0 {
+				continue
+			}
+			var maxRows int64
+			for _, sc := range st.Scans {
+				rows := cl.Tables[sc.Table].Rows
+				if rows > maxRows {
+					maxRows = rows
+				}
+				sKeys[classify(rows)] = append(sKeys[classify(rows)], fmt.Sprintf("%d|%s", sc.Table, sc.Pred))
+			}
+			qKeys[classify(maxRows)] = append(qKeys[classify(maxRows)], st.Query)
+		}
+	}
+	queryRates = make(map[SizeClass]float64, numSizes)
+	scanRates = make(map[SizeClass]float64, numSizes)
+	for s := SizeClass(0); s < numSizes; s++ {
+		queryRates[s] = repetitionRate(qKeys[s])
+		scanRates[s] = repetitionRate(sKeys[s])
+	}
+	return queryRates, scanRates
+}
+
+// ResultCacheHitRates replays each cluster's statement stream through an
+// idealized result cache (exact text match, invalidated by any DML on a
+// scanned table) and returns per-cluster hit rates (Figure 6).
+func (f *Fleet) ResultCacheHitRates() []float64 {
+	var out []float64
+	for _, cl := range f.Clusters {
+		out = append(out, replayResultCache(cl))
+	}
+	return out
+}
+
+func replayResultCache(cl *Cluster) float64 {
+	versions := make([]int, len(cl.Tables))
+	type entry struct {
+		versions []int
+		tables   []int
+	}
+	cache := make(map[string]entry)
+	hits, selects := 0, 0
+	for _, st := range cl.Statements {
+		switch st.Kind {
+		case StInsert, StCopy, StDelete, StUpdate:
+			versions[st.Table]++
+		case StSelect:
+			selects++
+			if e, ok := cache[st.Query]; ok {
+				fresh := true
+				for i, t := range e.tables {
+					if versions[t] != e.versions[i] {
+						fresh = false
+						break
+					}
+				}
+				if fresh {
+					hits++
+					continue
+				}
+			}
+			var tables []int
+			var vs []int
+			for _, sc := range st.Scans {
+				tables = append(tables, sc.Table)
+				vs = append(vs, versions[sc.Table])
+			}
+			cache[st.Query] = entry{versions: vs, tables: tables}
+		}
+	}
+	if selects == 0 {
+		return 0
+	}
+	return float64(hits) / float64(selects)
+}
+
+// HitRateVsUpdateRate returns (updateShare, resultCacheHitRate) pairs per
+// cluster (Figure 7).
+func (f *Fleet) HitRateVsUpdateRate() (updateShares, hitRates []float64) {
+	for _, cl := range f.Clusters {
+		writes, total := 0, 0
+		for _, st := range cl.Statements {
+			total++
+			switch st.Kind {
+			case StInsert, StCopy, StDelete, StUpdate:
+				writes++
+			}
+		}
+		updateShares = append(updateShares, float64(writes)/float64(total))
+		hitRates = append(hitRates, replayResultCache(cl))
+	}
+	return updateShares, hitRates
+}
+
+// CDF returns the values of a per-cluster metric at the given percentiles
+// (0-100), for rendering the paper's per-cluster CDF figures.
+func CDF(values []float64, percentiles []int) []float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	out := make([]float64, len(percentiles))
+	for i, p := range percentiles {
+		idx := p * (len(s) - 1) / 100
+		out[i] = s[idx]
+	}
+	return out
+}
+
+// Mean averages a metric.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// FractionAbove returns the share of values >= threshold.
+func FractionAbove(values []float64, threshold float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}

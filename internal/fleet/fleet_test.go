@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+func sim(t *testing.T) *Fleet {
+	t.Helper()
+	return Simulate(DefaultConfig())
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(Config{Clusters: 10, MinStatements: 100, MaxStatements: 200, Seed: 1})
+	b := Simulate(Config{Clusters: 10, MinStatements: 100, MaxStatements: 200, Seed: 1})
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("cluster count differs")
+	}
+	for i := range a.Clusters {
+		if len(a.Clusters[i].Statements) != len(b.Clusters[i].Statements) {
+			t.Fatal("statement streams differ")
+		}
+	}
+}
+
+func TestStatementMixMatchesTable2(t *testing.T) {
+	f := sim(t)
+	agg, selectShares := f.StatementMix()
+	// Fleet aggregates should land near the paper's Table 2 within a few
+	// points (the per-cluster mixes vary widely by design).
+	want := map[string]float64{
+		"select": 0.423, "insert": 0.178, "copy": 0.069,
+		"delete": 0.063, "update": 0.036, "other": 0.233,
+	}
+	for k, w := range want {
+		if math.Abs(agg[k]-w) > 0.06 {
+			t.Errorf("%s share %.3f want ~%.3f", k, agg[k], w)
+		}
+	}
+	if len(selectShares) != len(f.Clusters) {
+		t.Fatal("per-cluster shares missing")
+	}
+	// Figure 2: only a minority of clusters are select-dominated (>50%).
+	domFrac := FractionAbove(selectShares, 0.5)
+	if domFrac < 0.05 || domFrac > 0.6 {
+		t.Errorf("select-dominated fraction %.2f implausible", domFrac)
+	}
+}
+
+func TestQueryRepetitionCalibration(t *testing.T) {
+	f := sim(t)
+	rates := f.QueryRepetitionRates(1.0)
+	mean := Mean(rates)
+	// Paper: queries repeat 71.2% of the time on average.
+	if mean < 0.60 || mean > 0.85 {
+		t.Fatalf("mean query repetition %.3f outside calibration band", mean)
+	}
+	// Paper Figure 1: for more than 50% of clusters at least 75% of the
+	// queries repeat within a month.
+	if frac := FractionAbove(rates, 0.75); frac < 0.4 {
+		t.Fatalf("only %.2f of clusters have >=75%% repetition", frac)
+	}
+	// One week repeats less than one month.
+	weekMean := Mean(f.QueryRepetitionRates(0.25))
+	if weekMean >= mean {
+		t.Fatalf("week repetition %.3f >= month %.3f", weekMean, mean)
+	}
+}
+
+func TestScanRepetitionTracksQueries(t *testing.T) {
+	f := sim(t)
+	q := Mean(f.QueryRepetitionRates(1.0))
+	s := Mean(f.ScanRepetitionRates())
+	// Paper: 71.9% vs 71.2% — nearly identical.
+	if math.Abs(q-s) > 0.12 {
+		t.Fatalf("query %.3f vs scan %.3f repetition diverge too much", q, s)
+	}
+}
+
+func TestReadWriteRatios(t *testing.T) {
+	f := sim(t)
+	ratios := f.ReadWriteRatios()
+	// Paper Figure 3: ~60% of clusters run more reads than writes.
+	readHeavy := 0
+	for _, r := range ratios {
+		if r < 1 {
+			readHeavy++
+		}
+	}
+	frac := float64(readHeavy) / float64(len(ratios))
+	if frac < 0.3 || frac > 0.9 {
+		t.Fatalf("read-heavy fraction %.2f implausible", frac)
+	}
+}
+
+func TestRepetitionByTableSize(t *testing.T) {
+	f := sim(t)
+	qRates, sRates := f.RepetitionByTableSize()
+	if len(qRates) != 4 || len(sRates) != 4 {
+		t.Fatal("size classes missing")
+	}
+	// Paper Figure 5: scan repetition is roughly uniform across sizes.
+	for s := SizeClass(0); s < numSizes; s++ {
+		if sRates[s] < 0.4 || sRates[s] > 1 {
+			t.Errorf("scan repetition for %s = %.3f", s, sRates[s])
+		}
+	}
+}
+
+func TestResultCacheHitRates(t *testing.T) {
+	f := sim(t)
+	rates := f.ResultCacheHitRates()
+	mean := Mean(rates)
+	// Paper: ~20% average hit rate across the fleet; only ~15% of clusters
+	// answer >50% from the cache.
+	if mean < 0.05 || mean > 0.45 {
+		t.Fatalf("mean result-cache hit rate %.3f outside band", mean)
+	}
+	over50 := FractionAbove(rates, 0.5)
+	if over50 > 0.45 {
+		t.Fatalf("too many clusters over 50%% hit rate: %.2f", over50)
+	}
+	// Hit rate must always be below the repetition rate (a repeat is
+	// necessary but not sufficient for a hit).
+	reps := f.QueryRepetitionRates(1.0)
+	for i := range rates {
+		if rates[i] > reps[i]+1e-9 {
+			t.Fatalf("cluster %d: hit rate %.3f exceeds repetition %.3f", i, rates[i], reps[i])
+		}
+	}
+}
+
+func TestHitRateVsUpdateRate(t *testing.T) {
+	f := sim(t)
+	upd, hit := f.HitRateVsUpdateRate()
+	if len(upd) != len(hit) || len(upd) != len(f.Clusters) {
+		t.Fatal("lengths")
+	}
+	// Figure 7: clusters with almost no updates should answer far more from
+	// the result cache than heavily-updated clusters.
+	var lowUpd, highUpd []float64
+	for i := range upd {
+		if upd[i] < 0.1 {
+			lowUpd = append(lowUpd, hit[i])
+		}
+		if upd[i] > 0.5 {
+			highUpd = append(highUpd, hit[i])
+		}
+	}
+	if len(lowUpd) == 0 || len(highUpd) == 0 {
+		t.Skip("not enough clusters in extreme buckets")
+	}
+	if Mean(lowUpd) <= Mean(highUpd) {
+		t.Fatalf("low-update hit rate %.3f <= high-update %.3f", Mean(lowUpd), Mean(highUpd))
+	}
+}
+
+func TestCDFHelpers(t *testing.T) {
+	vals := []float64{0.1, 0.9, 0.5, 0.3, 0.7}
+	cdf := CDF(vals, []int{0, 50, 100})
+	if cdf[0] != 0.1 || cdf[2] != 0.9 {
+		t.Fatalf("cdf %v", cdf)
+	}
+	if Mean(nil) != 0 || FractionAbove(nil, 0.5) != 0 {
+		t.Fatal("empty metrics")
+	}
+	if FractionAbove(vals, 0.5) != 0.6 {
+		t.Fatal("fraction above")
+	}
+}
+
+func TestSizeClassify(t *testing.T) {
+	cases := map[int64]SizeClass{
+		1000: SizeSmall, 999999: SizeSmall, 1000000: SizeMedium,
+		99999999: SizeMedium, 100000000: SizeLarge, 1000000000: SizeXL,
+	}
+	for rows, want := range cases {
+		if got := classify(rows); got != want {
+			t.Errorf("classify(%d)=%v want %v", rows, got, want)
+		}
+	}
+	if SizeSmall.String() == "" || SizeXL.String() == "" {
+		t.Fatal("names")
+	}
+}

@@ -1,0 +1,221 @@
+// Package lake implements predicate caching over an open table format
+// (§4.5 of the paper). An Iceberg/Delta-style table is an ordered set of
+// immutable data files plus a manifest: writers commit by adding or
+// removing whole files, never by mutating rows in place. That satisfies the
+// paper's three requirements verbatim — (a) rows are uniquely identified by
+// (file id, offset), (b) row identity never changes while a file lives, and
+// (c) manifest commits make layout changes detectable — so a predicate
+// cache can index the lake without owning its physical layout.
+//
+// The cache here works at two granularities, as §4.5 suggests for Parquet:
+// it remembers which files qualify for a predicate (skipping whole files the
+// way a query engine skips row groups), and within each qualifying file a
+// bounded list of qualifying row ranges (reusing the core gap-heap builder).
+// File additions extend entries; file removals need no invalidation at all —
+// dropped files simply vanish from the manifest the entry is intersected
+// with.
+package lake
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// DataFile is one immutable data file of the lake table.
+type DataFile struct {
+	ID   uint64
+	Rows int
+
+	// Columnar payload: integer representations (dates, bools, dictionary
+	// codes) and floats, indexed by schema column.
+	ints   [][]int64
+	floats [][]float64
+
+	// Per-column min/max statistics (the footer stats Parquet files carry);
+	// used for file-level pruning before the cache is consulted.
+	minI, maxI []int64
+	minF, maxF []float64
+}
+
+// Table is a lake-resident table: schema + manifest of live files.
+type Table struct {
+	mu       sync.RWMutex
+	name     string
+	schema   storage.Schema
+	dicts    []*storage.Dict
+	files    []*DataFile
+	nextFile uint64
+	snapshot uint64 // bumps on every manifest commit
+}
+
+// NewTable creates an empty lake table.
+func NewTable(name string, schema storage.Schema) *Table {
+	t := &Table{name: name, schema: schema, dicts: make([]*storage.Dict, len(schema))}
+	for i, def := range schema {
+		if def.Type == storage.String {
+			t.dicts[i] = storage.NewDict()
+		}
+	}
+	return t
+}
+
+// Name implements expr.Source.
+func (t *Table) Name() string { return t.name }
+
+// ColumnIndex implements expr.Source.
+func (t *Table) ColumnIndex(name string) int { return t.schema.ColumnIndex(name) }
+
+// ColumnType implements expr.Source.
+func (t *Table) ColumnType(i int) storage.ColumnType { return t.schema[i].Type }
+
+// Dict implements expr.Source.
+func (t *Table) Dict(i int) *storage.Dict { return t.dicts[i] }
+
+// Snapshot returns the current manifest version.
+func (t *Table) Snapshot() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.snapshot
+}
+
+// NumFiles returns the number of live files.
+func (t *Table) NumFiles() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.files)
+}
+
+// NumRows returns the total live row count.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, f := range t.files {
+		n += f.Rows
+	}
+	return n
+}
+
+// AddFile commits a new data file built from the batch and returns its id.
+func (t *Table) AddFile(b *storage.Batch) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(b.Cols) != len(t.schema) {
+		return 0, fmt.Errorf("lake: %s: batch has %d columns, schema has %d", t.name, len(b.Cols), len(t.schema))
+	}
+	f := &DataFile{
+		ID:   t.nextFile + 1,
+		Rows: b.N,
+		ints: make([][]int64, len(t.schema)), floats: make([][]float64, len(t.schema)),
+		minI: make([]int64, len(t.schema)), maxI: make([]int64, len(t.schema)),
+		minF: make([]float64, len(t.schema)), maxF: make([]float64, len(t.schema)),
+	}
+	for ci, def := range t.schema {
+		switch def.Type {
+		case storage.Float64:
+			if len(b.Cols[ci].Floats) != b.N {
+				return 0, fmt.Errorf("lake: %s column %s: bad float vector", t.name, def.Name)
+			}
+			vals := append([]float64(nil), b.Cols[ci].Floats...)
+			f.floats[ci] = vals
+			if b.N > 0 {
+				mn, mx := vals[0], vals[0]
+				for _, v := range vals {
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				f.minF[ci], f.maxF[ci] = mn, mx
+			}
+		case storage.String:
+			if len(b.Cols[ci].Strings) != b.N {
+				return 0, fmt.Errorf("lake: %s column %s: bad string vector", t.name, def.Name)
+			}
+			codes := make([]int64, b.N)
+			for i, s := range b.Cols[ci].Strings {
+				codes[i] = t.dicts[ci].Code(s)
+			}
+			f.ints[ci] = codes
+			setIntBounds(f, ci, codes)
+		default:
+			if len(b.Cols[ci].Ints) != b.N {
+				return 0, fmt.Errorf("lake: %s column %s: bad int vector", t.name, def.Name)
+			}
+			vals := append([]int64(nil), b.Cols[ci].Ints...)
+			f.ints[ci] = vals
+			setIntBounds(f, ci, vals)
+		}
+	}
+	t.nextFile++
+	t.files = append(t.files, f)
+	t.snapshot++
+	return f.ID, nil
+}
+
+func setIntBounds(f *DataFile, ci int, vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	mn, mx := vals[0], vals[0]
+	for _, v := range vals {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	f.minI[ci], f.maxI[ci] = mn, mx
+}
+
+// RemoveFiles commits the removal of the given files (a delete or the
+// retraction side of a compaction). Unknown ids are ignored.
+func (t *Table) RemoveFiles(ids ...uint64) {
+	drop := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.files[:0]
+	for _, f := range t.files {
+		if !drop[f.ID] {
+			kept = append(kept, f)
+		}
+	}
+	t.files = kept
+	t.snapshot++
+}
+
+// FileIDs returns the live manifest.
+func (t *Table) FileIDs() []uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]uint64, len(t.files))
+	for i, f := range t.files {
+		out[i] = f.ID
+	}
+	return out
+}
+
+// fileBounds adapts a file's footer statistics for zone-map pruning.
+type fileBounds struct{ f *DataFile }
+
+func (b fileBounds) IntBounds(col int) (int64, int64, bool) {
+	if b.f.ints[col] == nil {
+		return 0, 0, false
+	}
+	return b.f.minI[col], b.f.maxI[col], true
+}
+
+func (b fileBounds) FloatBounds(col int) (float64, float64, bool) {
+	if b.f.floats[col] == nil {
+		return 0, 0, false
+	}
+	return b.f.minF[col], b.f.maxF[col], true
+}

@@ -1,0 +1,251 @@
+package lake
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+func lakeSchema() storage.Schema {
+	return storage.Schema{
+		{Name: "id", Type: storage.Int64},
+		{Name: "city", Type: storage.String},
+		{Name: "km", Type: storage.Float64},
+	}
+}
+
+// mkFile builds a file of n rows for one city with ids in [base, base+n).
+func mkFile(city string, base, n int, r *rand.Rand) *storage.Batch {
+	b := storage.NewBatch(lakeSchema())
+	for i := 0; i < n; i++ {
+		b.Cols[0].Ints = append(b.Cols[0].Ints, int64(base+i))
+		b.Cols[1].Strings = append(b.Cols[1].Strings, city)
+		b.Cols[2].Floats = append(b.Cols[2].Floats, float64(r.Intn(1000))/10)
+	}
+	b.N = n
+	return b
+}
+
+// naive returns the reference matches.
+func naive(t *testing.T, tbl *Table, pred expr.Pred) []Match {
+	t.Helper()
+	out, _, err := Scan(tbl, pred, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameMatches(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAddRemoveFiles(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(1))
+	id1, err := tbl.AddFile(mkFile("berlin", 0, 100, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := tbl.AddFile(mkFile("munich", 100, 100, r))
+	if tbl.NumFiles() != 2 || tbl.NumRows() != 200 {
+		t.Fatal("manifest wrong")
+	}
+	s0 := tbl.Snapshot()
+	tbl.RemoveFiles(id1)
+	if tbl.NumFiles() != 1 || tbl.Snapshot() == s0 {
+		t.Fatal("remove failed")
+	}
+	ids := tbl.FileIDs()
+	if len(ids) != 1 || ids[0] != id2 {
+		t.Fatalf("manifest %v", ids)
+	}
+	// Bad batches rejected.
+	if _, err := tbl.AddFile(storage.NewBatch(storage.Schema{{Name: "x", Type: storage.Int64}})); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	bad := storage.NewBatch(lakeSchema())
+	bad.N = 5
+	if _, err := tbl.AddFile(bad); err == nil {
+		t.Fatal("bad vectors accepted")
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(2))
+	cities := []string{"berlin", "munich", "hamburg"}
+	for i := 0; i < 9; i++ {
+		if _, err := tbl.AddFile(mkFile(cities[i%3], i*500, 500, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred := expr.And(expr.Cmp("city", expr.Eq, expr.Str("munich")), expr.Cmp("km", expr.Gt, expr.Float(90)))
+	cache := NewCache(64)
+	cold, coldStats, err := Scan(tbl, pred, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheHit {
+		t.Fatal("first scan hit")
+	}
+	want := naive(t, tbl, pred)
+	if !sameMatches(cold, want) {
+		t.Fatal("cold scan mismatch")
+	}
+	warm, warmStats, err := Scan(tbl, pred, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warmStats.CacheHit {
+		t.Fatal("second scan missed")
+	}
+	if !sameMatches(warm, want) {
+		t.Fatal("warm scan mismatch")
+	}
+	// The cache must restrict scanning to qualifying rows (few false
+	// positives from bounded ranges) and skip the other cities' files
+	// entirely.
+	if warmStats.RowsScanned >= coldStats.RowsScanned/2 {
+		t.Fatalf("no scan reduction: %d vs %d", warmStats.RowsScanned, coldStats.RowsScanned)
+	}
+	if warmStats.FilesSkipped < 6 {
+		t.Fatalf("files skipped %d want >= 6", warmStats.FilesSkipped)
+	}
+}
+
+func TestFileAppendExtendsEntry(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 4; i++ {
+		tbl.AddFile(mkFile("berlin", i*100, 100, r))
+	}
+	pred := expr.Cmp("km", expr.Lt, expr.Float(5))
+	cache := NewCache(64)
+	if _, _, err := Scan(tbl, pred, cache); err != nil {
+		t.Fatal(err)
+	}
+	// Another writer commits two more files.
+	tbl.AddFile(mkFile("berlin", 400, 100, r))
+	tbl.AddFile(mkFile("munich", 500, 100, r))
+
+	got, stats, err := Scan(tbl, pred, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CacheHit {
+		t.Fatal("entry lost after append")
+	}
+	if !sameMatches(got, naive(t, tbl, pred)) {
+		t.Fatal("post-append mismatch")
+	}
+	// Only the two new files (200 rows) plus cached qualifying rows are
+	// visited.
+	if stats.RowsScanned > 200+stats.RowsMatched+64 {
+		t.Fatalf("scanned too much after append: %d", stats.RowsScanned)
+	}
+}
+
+func TestFileRemovalNeedsNoInvalidation(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(4))
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		id, _ := tbl.AddFile(mkFile("berlin", i*100, 100, r))
+		ids = append(ids, id)
+	}
+	pred := expr.Cmp("km", expr.Gt, expr.Float(50))
+	cache := NewCache(64)
+	if _, _, err := Scan(tbl, pred, cache); err != nil {
+		t.Fatal(err)
+	}
+	tbl.RemoveFiles(ids[1], ids[3])
+	got, stats, err := Scan(tbl, pred, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.CacheHit {
+		t.Fatal("removal invalidated the entry (must not)")
+	}
+	if !sameMatches(got, naive(t, tbl, pred)) {
+		t.Fatal("post-removal mismatch")
+	}
+	for _, m := range got {
+		if m.File == ids[1] || m.File == ids[3] {
+			t.Fatal("match from removed file")
+		}
+	}
+}
+
+func TestFooterStatsPruneFiles(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(5))
+	// Files with disjoint id ranges: footer stats alone prune.
+	for i := 0; i < 8; i++ {
+		tbl.AddFile(mkFile("berlin", i*1000, 1000, r))
+	}
+	pred := expr.Between("id", expr.Int(2500), expr.Int(2600))
+	_, stats, err := Scan(tbl, pred, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FilesVisited != 1 || stats.FilesSkipped != 7 {
+		t.Fatalf("visited %d skipped %d", stats.FilesVisited, stats.FilesSkipped)
+	}
+}
+
+func TestCacheCorrectUnderChurnQuick(t *testing.T) {
+	tbl := NewTable("trips", lakeSchema())
+	r := rand.New(rand.NewSource(6))
+	cache := NewCache(16)
+	var live []uint64
+	nextBase := 0
+	preds := []expr.Pred{
+		expr.Cmp("km", expr.Gt, expr.Float(80)),
+		expr.Cmp("city", expr.Eq, expr.Str("munich")),
+		expr.And(expr.Cmp("city", expr.Eq, expr.Str("berlin")), expr.Cmp("km", expr.Lt, expr.Float(10))),
+	}
+	cities := []string{"berlin", "munich"}
+	for step := 0; step < 40; step++ {
+		switch r.Intn(3) {
+		case 0, 1: // add a file
+			id, err := tbl.AddFile(mkFile(cities[r.Intn(2)], nextBase, 50+r.Intn(100), r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nextBase += 200
+			live = append(live, id)
+		case 2: // remove a random file
+			if len(live) > 0 {
+				i := r.Intn(len(live))
+				tbl.RemoveFiles(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		p := preds[r.Intn(len(preds))]
+		got, _, err := Scan(tbl, p, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMatches(got, naive(t, tbl, p)) {
+			t.Fatalf("step %d (%s): cached scan diverged", step, p.Key())
+		}
+	}
+	hits, misses, _ := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("hits %d misses %d", hits, misses)
+	}
+	if cache.Entries() != len(preds) {
+		t.Fatalf("entries %d", cache.Entries())
+	}
+}

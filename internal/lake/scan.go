@@ -1,0 +1,190 @@
+package lake
+
+import (
+	"sync"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Match identifies one qualifying row.
+type Match struct {
+	File uint64
+	Row  int
+}
+
+// ScanStats reports the work one scan performed.
+type ScanStats struct {
+	FilesVisited int // files whose rows were evaluated
+	FilesSkipped int // files eliminated by cache or footer stats
+	RowsScanned  int
+	RowsMatched  int
+	CacheHit     bool
+}
+
+// fileEntry is the cached state for one (predicate, file) pair: the bounded
+// qualifying row ranges produced when the file was last scanned. Because
+// files are immutable, a fileEntry is valid for the file's entire lifetime.
+type fileEntry struct {
+	qualifies bool
+	ranges    []storage.RowRange
+}
+
+// cacheEntry is one cached predicate over a lake table.
+type cacheEntry struct {
+	// perFile has one entry per file the predicate has ever been evaluated
+	// on; files missing here (new commits) are scanned and merged in, files
+	// no longer in the manifest are simply not consulted.
+	perFile map[uint64]*fileEntry
+}
+
+// Cache is a predicate cache over lake tables: the §4.5 design where the
+// cache indexes qualifying files and row ranges within them.
+type Cache struct {
+	mu        sync.Mutex
+	maxRanges int
+	entries   map[string]*cacheEntry
+	hits      int64
+	misses    int64
+	extends   int64
+}
+
+// NewCache creates a lake predicate cache; maxRanges bounds the per-file
+// range lists (the row-group-granularity index §4.5 describes).
+func NewCache(maxRanges int) *Cache {
+	if maxRanges < 1 {
+		maxRanges = 1024
+	}
+	return &Cache{maxRanges: maxRanges, entries: make(map[string]*cacheEntry)}
+}
+
+// Stats returns (hits, misses, extends).
+func (c *Cache) Stats() (hits, misses, extends int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.extends
+}
+
+// Entries returns the number of cached predicates.
+func (c *Cache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Scan evaluates pred over the table, using cache (nil = cold) to skip
+// non-qualifying files and rows. It returns the qualifying rows in manifest
+// order.
+func Scan(t *Table, pred expr.Pred, cache *Cache) ([]Match, ScanStats, error) {
+	var stats ScanStats
+	if pred == nil {
+		pred = expr.TruePred{}
+	}
+	bound, err := expr.Bind(pred, t)
+	if err != nil {
+		return nil, stats, err
+	}
+	key := t.name + "|" + pred.Key()
+
+	var entry *cacheEntry
+	if cache != nil {
+		cache.mu.Lock()
+		var ok bool
+		entry, ok = cache.entries[key]
+		if ok {
+			cache.hits++
+			stats.CacheHit = true
+		} else {
+			cache.misses++
+			entry = &cacheEntry{perFile: make(map[uint64]*fileEntry)}
+			cache.entries[key] = entry
+		}
+		cache.mu.Unlock()
+	}
+
+	t.mu.RLock()
+	files := append([]*DataFile(nil), t.files...)
+	t.mu.RUnlock()
+
+	ctx := expr.NewBlockCtx(len(t.schema), t.dicts)
+	var out []Match
+	sel := make([]int, 0, 4096)
+	for _, f := range files {
+		var fe *fileEntry
+		if entry != nil {
+			if cache != nil {
+				cache.mu.Lock()
+				fe = entry.perFile[f.ID]
+				cache.mu.Unlock()
+			}
+		}
+		if fe != nil && !fe.qualifies {
+			stats.FilesSkipped++
+			continue
+		}
+		// Footer-statistics pruning (file-level zone maps) for files the
+		// cache has no verdict on.
+		if fe == nil && bound.Prune(fileBounds{f}) {
+			stats.FilesSkipped++
+			if entry != nil && cache != nil {
+				cache.mu.Lock()
+				entry.perFile[f.ID] = &fileEntry{qualifies: false}
+				cache.mu.Unlock()
+			}
+			continue
+		}
+
+		// Candidate rows: the cached ranges, or the whole file.
+		for ci := range t.schema {
+			if f.ints[ci] != nil {
+				ctx.SetInt(ci, f.ints[ci])
+			} else {
+				ctx.SetFloat(ci, f.floats[ci])
+			}
+		}
+		ctx.N = f.Rows
+		sel = sel[:0]
+		if fe != nil {
+			for _, r := range fe.ranges {
+				for row := r.Start; row < r.End; row++ {
+					sel = append(sel, row)
+				}
+			}
+		} else {
+			for row := 0; row < f.Rows; row++ {
+				sel = append(sel, row)
+			}
+		}
+		stats.FilesVisited++
+		stats.RowsScanned += len(sel)
+		matched := bound.Eval(ctx, sel)
+		for _, row := range matched {
+			out = append(out, Match{File: f.ID, Row: row})
+		}
+		stats.RowsMatched += len(matched)
+
+		// Record the verdict for newly evaluated files.
+		if entry != nil && fe == nil && cache != nil {
+			nfe := &fileEntry{qualifies: len(matched) > 0}
+			if nfe.qualifies {
+				rb := core.NewRangeBuilder(cache.maxRanges)
+				i := 0
+				for i < len(matched) {
+					j := i + 1
+					for j < len(matched) && matched[j] == matched[j-1]+1 {
+						j++
+					}
+					rb.Add(matched[i], matched[j-1]+1)
+					i = j
+				}
+				nfe.ranges = rb.Finish()
+			}
+			cache.mu.Lock()
+			entry.perFile[f.ID] = nfe
+			cache.extends++
+			cache.mu.Unlock()
+		}
+	}
+	return out, stats, nil
+}

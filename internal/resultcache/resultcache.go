@@ -1,0 +1,135 @@
+// Package resultcache implements the leader-node result cache the paper
+// compares against (§3.1): results keyed by exact query text, invalidated by
+// any DML on any scanned table. It is deliberately simple — "a lightweight
+// technique that does not require changes to the database or the query
+// execution engine".
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// dep pins the version of one scanned table at caching time.
+type dep struct {
+	table   *storage.Table
+	version uint64
+}
+
+type entry struct {
+	query  string
+	result *engine.Relation
+	deps   []dep
+	mem    int
+	elem   *list.Element
+}
+
+// Stats reports cache activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Invalidations int64
+	Evictions     int64
+	Entries       int
+	MemBytes      int
+}
+
+// Cache is a query-text-keyed result cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recent
+	mem     int
+	budget  int // bytes; 0 = unlimited
+	stats   Stats
+}
+
+// New creates a result cache with the given memory budget in bytes
+// (0 = unlimited).
+func New(budget int) *Cache {
+	return &Cache{entries: make(map[string]*entry), lru: list.New(), budget: budget}
+}
+
+// Get returns the cached result for the exact query text. Entries whose
+// source tables changed are dropped — "a hit in the cache requires that
+// both the query text and the dataset are identical".
+func (c *Cache) Get(query string) (*engine.Relation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[query]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	for _, d := range e.deps {
+		if d.table.Version() != d.version {
+			c.dropLocked(e)
+			c.stats.Invalidations++
+			c.stats.Misses++
+			return nil, false
+		}
+	}
+	c.lru.MoveToFront(e.elem)
+	c.stats.Hits++
+	return e.result, true
+}
+
+// Put stores a result computed against the given tables.
+func (c *Cache) Put(query string, result *engine.Relation, tables []*storage.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[query]; ok {
+		c.dropLocked(old)
+	}
+	e := &entry{query: query, result: result, mem: result.MemBytes() + len(query)}
+	for _, t := range tables {
+		e.deps = append(e.deps, dep{table: t, version: t.Version()})
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[query] = e
+	c.mem += e.mem
+	c.stats.Inserts++
+	for c.budget > 0 && c.mem > c.budget && c.lru.Len() > 0 {
+		c.dropLocked(c.lru.Back().Value.(*entry))
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache) dropLocked(e *entry) {
+	delete(c.entries, e.query)
+	c.lru.Remove(e.elem)
+	c.mem -= e.mem
+}
+
+// EntryMemBytes returns the memory of one entry (0 when absent).
+func (c *Cache) EntryMemBytes(query string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[query]; ok {
+		return e.mem
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.MemBytes = c.mem
+	return s
+}
+
+// Clear drops everything.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.lru.Init()
+	c.mem = 0
+	c.mu.Unlock()
+}

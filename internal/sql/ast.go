@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/expr"
+)
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   expr.Pred     // nil if absent
+	GroupBy []expr.Scalar // grouping expressions (columns or computed scalars)
+	Having  []HavingCond
+	OrderBy []OrderItem
+	Limit   int // -1 if absent
+}
+
+// SelectItem is one output expression. Scalar is the expression to emit;
+// aggregate calls inside it were replaced by column references to their
+// canonical names, and the calls themselves collected into Aggs (empty for
+// pure scalar items).
+type SelectItem struct {
+	Scalar expr.Scalar
+	Aggs   []*AggCall
+	Alias  string
+	// Star marks a bare `*` item (all columns; only valid alone and
+	// ungrouped).
+	Star bool
+}
+
+// AggCall is an aggregate function application.
+type AggCall struct {
+	Func     engine.AggFunc
+	Arg      expr.Scalar // nil for count(*)
+	Distinct bool
+}
+
+// Name returns the canonical output column name for the call.
+func (a *AggCall) Name() string {
+	if a.Arg == nil {
+		return "count(*)"
+	}
+	prefix := a.Func.String()
+	return prefix + "(" + a.Arg.Key() + ")"
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Table string
+	Alias string // empty when unaliased
+}
+
+// HavingCond restricts aggregate output: LHS is either an aggregate call or
+// a grouping column, compared to a literal.
+type HavingCond struct {
+	Agg *AggCall
+	Col string
+	Op  expr.CmpOp
+	Val expr.Value
+}
+
+// OrderItem orders output by a column name / select alias, an aggregate
+// call, or a 1-based select position.
+type OrderItem struct {
+	Col      string
+	Agg      *AggCall
+	Position int // 0 if unused
+	Desc     bool
+}

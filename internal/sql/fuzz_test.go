@@ -1,0 +1,44 @@
+package sql_test
+
+import (
+	"testing"
+
+	"github.com/predcache/predcache/internal/sql"
+)
+
+// FuzzParse asserts the parser never panics on arbitrary input; run the
+// corpus as part of the normal test suite and expand it with
+// `go test -fuzz FuzzParse ./internal/sql`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"select",
+		"select a from t",
+		"select count(*) from t where a = 1 and b between 2 and 3",
+		"select a, sum(b) as s from t where c in ('x', 'y') group by a having s > 5 order by s desc limit 3",
+		"select sum(case when a = 1 then b else 0 end) / sum(b) from t",
+		"select extract(year from d) from t group by extract(year from d)",
+		"select * from t where d >= date '1995-01-01' + interval '3' month",
+		"select a from t where s like '%x_%' or not s like 'y%'",
+		"select a.b, c.d from t1 a, t2 c where a.k = c.k",
+		"select 'unterminated",
+		"select a from t where a <=> 3",
+		"select (((((((((( from t",
+		"select a fromt",
+		"\x00\xff\xfe",
+		"select -1.5e10 from t",
+		"select a from t where a in (1,2,3,)",
+		"select a -- comment\nfrom t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must not panic; errors are fine.
+		stmt, err := sql.Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+		_, _ = sql.ParsePredicate(input)
+	})
+}

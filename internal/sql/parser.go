@@ -1,0 +1,796 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+	// aggs collects aggregate calls encountered while parsing select items.
+	aggs []*AggCall
+	// inAggArg guards against nested aggregates.
+	inAggArg bool
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) peekText() string {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokSymbol {
+		return t.text
+	}
+	return ""
+}
+
+// accept consumes the next token if it matches text (keyword or symbol).
+func (p *parser) accept(text string) bool {
+	if p.peekText() == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("sql: expected %q, got %q", text, p.peek().text)
+	}
+	return nil
+}
+
+var aggFuncs = map[string]engine.AggFunc{
+	"count": engine.AggCount,
+	"sum":   engine.AggSum,
+	"avg":   engine.AggAvg,
+	"min":   engine.AggMin,
+	"max":   engine.AggMax,
+}
+
+// reserved words that terminate expressions / cannot start a column ref.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "limit": true, "and": true, "or": true,
+	"not": true, "between": true, "in": true, "like": true, "as": true,
+	"asc": true, "desc": true, "case": true, "when": true, "then": true,
+	"else": true, "end": true, "on": true, "join": true, "inner": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expect("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("where") {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = pred
+	}
+	if p.accept("group") {
+		if err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			p.aggs = nil
+			sc, err := p.parseScalar()
+			if err != nil {
+				return nil, err
+			}
+			if len(p.aggs) > 0 {
+				return nil, fmt.Errorf("sql: aggregates not allowed in GROUP BY")
+			}
+			stmt.GroupBy = append(stmt.GroupBy, sc)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("having") {
+		for {
+			cond, err := p.parseHavingCond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = append(stmt.Having, cond)
+			if !p.accept("and") {
+				break
+			}
+		}
+	}
+	if p.accept("order") {
+		if err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.accept("limit") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number, got %q", t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.kind != tokIdent || reserved[t.text] {
+		return TableRef{}, fmt.Errorf("sql: expected table name, got %q", t.text)
+	}
+	ref := TableRef{Table: t.text}
+	p.accept("as")
+	if nt := p.peek(); nt.kind == tokIdent && !reserved[nt.text] {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peekText() == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	p.aggs = nil
+	sc, err := p.parseScalar()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Scalar: sc, Aggs: p.aggs}
+	p.aggs = nil
+	if p.accept("as") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return SelectItem{}, fmt.Errorf("sql: expected alias, got %q", t.text)
+		}
+		item.Alias = t.text
+	} else if nt := p.peek(); nt.kind == tokIdent && !reserved[nt.text] {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// parseColName parses ident or ident.ident as written.
+func (p *parser) parseColName() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent || reserved[t.text] {
+		return "", fmt.Errorf("sql: expected column name, got %q", t.text)
+	}
+	name := t.text
+	if p.accept(".") {
+		t2 := p.next()
+		if t2.kind != tokIdent {
+			return "", fmt.Errorf("sql: expected column after %q.", name)
+		}
+		name = name + "." + t2.text
+	}
+	return name, nil
+}
+
+// --- scalar expressions ---
+
+func (p *parser) parseScalar() (expr.Scalar, error) {
+	return p.parseAdditive()
+}
+
+func (p *parser) parseAdditive() (expr.Scalar, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peekText() {
+		case "+":
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith(l, expr.Add, r)
+		case "-":
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith(l, expr.Sub, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr.Scalar, error) {
+	l, err := p.parseUnaryScalar()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peekText() {
+		case "*":
+			p.next()
+			r, err := p.parseUnaryScalar()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith(l, expr.Mul, r)
+		case "/":
+			p.next()
+			r, err := p.parseUnaryScalar()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith(l, expr.Div, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnaryScalar() (expr.Scalar, error) {
+	if p.accept("-") {
+		s, err := p.parsePrimaryScalar()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Arith(expr.Const(expr.Int(0)), expr.Sub, s), nil
+	}
+	return p.parsePrimaryScalar()
+}
+
+func (p *parser) parsePrimaryScalar() (expr.Scalar, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		s, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(")")
+	case t.kind == tokNumber:
+		p.next()
+		return expr.Const(numberValue(t.text)), nil
+	case t.kind == tokIdent && t.text == "case":
+		return p.parseCase()
+	case t.kind == tokIdent && t.text == "date" && p.toks[p.pos+1].kind == tokString:
+		v, err := p.parseDateValue()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Const(v), nil
+	case t.kind == tokIdent && t.text == "extract":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect("year"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("from"); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return expr.Year(arg), nil
+	case t.kind == tokIdent && isAggName(t.text) && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(":
+		return p.parseAggCall()
+	case t.kind == tokIdent && !reserved[t.text]:
+		col, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Col(col), nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseCase() (expr.Scalar, error) {
+	if err := p.expect("case"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("when"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	els := expr.Scalar(expr.Const(expr.Int(0)))
+	if p.accept("else") {
+		els, err = p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("end"); err != nil {
+		return nil, err
+	}
+	return expr.Case(cond, then, els), nil
+}
+
+// parseAggCall parses an aggregate and returns a column reference to its
+// canonical name, registering the call in p.aggs.
+func (p *parser) parseAggCall() (expr.Scalar, error) {
+	if p.inAggArg {
+		return nil, fmt.Errorf("sql: nested aggregates unsupported")
+	}
+	fn := p.next().text
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	call := &AggCall{Func: aggFuncs[fn]}
+	if fn == "count" && p.accept("*") {
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		if fn == "count" && p.accept("distinct") {
+			call.Distinct = true
+			call.Func = engine.AggCountDistinct
+		}
+		p.inAggArg = true
+		arg, err := p.parseScalar()
+		p.inAggArg = false
+		if err != nil {
+			return nil, err
+		}
+		call.Arg = arg
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	p.aggs = append(p.aggs, call)
+	return expr.Col(call.Name()), nil
+}
+
+// --- values ---
+
+func numberValue(text string) expr.Value {
+	if strings.Contains(text, ".") {
+		f, _ := strconv.ParseFloat(text, 64)
+		return expr.Float(f)
+	}
+	i, _ := strconv.ParseInt(text, 10, 64)
+	return expr.Int(i)
+}
+
+// parseDateValue parses date 'Y-M-D' with optional +/- interval arithmetic.
+func (p *parser) parseDateValue() (expr.Value, error) {
+	if err := p.expect("date"); err != nil {
+		return expr.Value{}, err
+	}
+	t := p.next()
+	if t.kind != tokString {
+		return expr.Value{}, fmt.Errorf("sql: date needs a string literal")
+	}
+	days, err := storage.ParseDate(t.text)
+	if err != nil {
+		return expr.Value{}, err
+	}
+	for {
+		sign := int64(0)
+		if p.peekText() == "+" {
+			sign = 1
+		} else if p.peekText() == "-" {
+			sign = -1
+		}
+		if sign == 0 || p.toks[p.pos+1].text != "interval" {
+			break
+		}
+		p.next() // sign
+		p.next() // interval
+		t := p.next()
+		if t.kind != tokString {
+			return expr.Value{}, fmt.Errorf("sql: interval needs a string literal")
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return expr.Value{}, fmt.Errorf("sql: bad interval %q", t.text)
+		}
+		unit := p.next()
+		switch unit.text {
+		case "day", "days":
+			days += sign * n
+		case "month", "months":
+			days = addMonths(days, sign*n)
+		case "year", "years":
+			days = addMonths(days, sign*n*12)
+		default:
+			return expr.Value{}, fmt.Errorf("sql: unknown interval unit %q", unit.text)
+		}
+	}
+	return expr.Int(days), nil
+}
+
+func addMonths(days, months int64) int64 {
+	y, m, d := storage.YMDFromDate(days)
+	total := int64(y)*12 + int64(m-1) + months
+	ny := int(total / 12)
+	nm := int(total%12) + 1
+	// Clamp the day to the target month's length.
+	for d > 28 {
+		candidate := storage.DateFromYMD(ny, nm, d)
+		cy, cm, _ := storage.YMDFromDate(candidate)
+		if cy == ny && cm == nm {
+			break
+		}
+		d--
+	}
+	return storage.DateFromYMD(ny, nm, d)
+}
+
+// parseValue parses a literal: number, string, or date expression.
+func (p *parser) parseValue() (expr.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return numberValue(t.text), nil
+	case t.kind == tokString:
+		p.next()
+		return expr.Str(t.text), nil
+	case t.kind == tokIdent && t.text == "date":
+		return p.parseDateValue()
+	case t.kind == tokSymbol && t.text == "-":
+		p.next()
+		v, err := p.parseValue()
+		if err != nil {
+			return expr.Value{}, err
+		}
+		if v.Kind == expr.KindFloat {
+			v.F = -v.F
+		} else {
+			v.I = -v.I
+		}
+		return v, nil
+	}
+	return expr.Value{}, fmt.Errorf("sql: expected literal, got %q", t.text)
+}
+
+// --- predicates ---
+
+func (p *parser) parsePred() (expr.Pred, error) {
+	return p.parseOrPred()
+}
+
+func (p *parser) parseOrPred() (expr.Pred, error) {
+	l, err := p.parseAndPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("or") {
+		r, err := p.parseAndPred()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndPred() (expr.Pred, error) {
+	l, err := p.parseNotPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("and") {
+		r, err := p.parseNotPred()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNotPred() (expr.Pred, error) {
+	if p.accept("not") {
+		c, err := p.parseNotPred()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(c), nil
+	}
+	return p.parsePrimaryPred()
+}
+
+func isAggName(text string) bool {
+	_, ok := aggFuncs[text]
+	return ok
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.Eq, "<>": expr.Ne, "!=": expr.Ne,
+	"<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+}
+
+func flipOp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}
+
+func (p *parser) parsePrimaryPred() (expr.Pred, error) {
+	if p.peekText() == "(" {
+		p.next()
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		return pred, p.expect(")")
+	}
+
+	// Literal-first comparison: lit op col.
+	t := p.peek()
+	if t.kind == tokNumber || t.kind == tokString || (t.kind == tokIdent && t.text == "date" && p.toks[p.pos+1].kind == tokString) {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		op, ok := cmpOps[p.peekText()]
+		if !ok {
+			return nil, fmt.Errorf("sql: expected comparison after literal, got %q", p.peek().text)
+		}
+		p.next()
+		col, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Cmp(col, flipOp(op), v), nil
+	}
+
+	col, err := p.parseColName()
+	if err != nil {
+		return nil, err
+	}
+	negate := p.accept("not")
+	switch {
+	case p.accept("between"):
+		lo, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		var pred expr.Pred = expr.Between(col, lo, hi)
+		if negate {
+			pred = expr.Not(pred)
+		}
+		return pred, nil
+	case p.accept("in"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var vals []expr.Value
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		var pred expr.Pred = expr.In(col, vals...)
+		if negate {
+			pred = expr.Not(pred)
+		}
+		return pred, nil
+	case p.accept("like"):
+		t := p.next()
+		if t.kind != tokString {
+			return nil, fmt.Errorf("sql: LIKE needs a string pattern")
+		}
+		if negate {
+			return expr.NotLike(col, t.text), nil
+		}
+		return expr.Like(col, t.text), nil
+	}
+	if negate {
+		return nil, fmt.Errorf("sql: expected BETWEEN/IN/LIKE after NOT")
+	}
+	op, ok := cmpOps[p.peekText()]
+	if !ok {
+		return nil, fmt.Errorf("sql: expected comparison for column %s, got %q", col, p.peek().text)
+	}
+	p.next()
+	// Right side: literal or another column.
+	t = p.peek()
+	if t.kind == tokIdent && !reserved[t.text] && t.text != "date" {
+		rcol, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.CmpCols(col, op, rcol), nil
+	}
+	if t.kind == tokIdent && t.text == "date" && p.toks[p.pos+1].kind != tokString {
+		rcol, err := p.parseColName()
+		if err != nil {
+			return nil, err
+		}
+		return expr.CmpCols(col, op, rcol), nil
+	}
+	v, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Cmp(col, op, v), nil
+}
+
+// --- having / order by ---
+
+func (p *parser) parseHavingCond() (HavingCond, error) {
+	var cond HavingCond
+	t := p.peek()
+	if t.kind == tokIdent && isAggName(t.text) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		p.aggs = nil
+		if _, err := p.parseAggCall(); err != nil {
+			return cond, err
+		}
+		cond.Agg = p.aggs[len(p.aggs)-1]
+		p.aggs = nil
+	} else {
+		col, err := p.parseColName()
+		if err != nil {
+			return cond, err
+		}
+		cond.Col = col
+	}
+	op, ok := cmpOps[p.peekText()]
+	if !ok {
+		return cond, fmt.Errorf("sql: expected comparison in HAVING, got %q", p.peek().text)
+	}
+	p.next()
+	v, err := p.parseValue()
+	if err != nil {
+		return cond, err
+	}
+	cond.Op = op
+	cond.Val = v
+	return cond, nil
+}
+
+func (p *parser) parseOrderItem() (OrderItem, error) {
+	var item OrderItem
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return item, fmt.Errorf("sql: bad ORDER BY position %q", t.text)
+		}
+		item.Position = n
+	case t.kind == tokIdent && isAggName(t.text) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(":
+		p.aggs = nil
+		if _, err := p.parseAggCall(); err != nil {
+			return item, err
+		}
+		item.Agg = p.aggs[len(p.aggs)-1]
+		p.aggs = nil
+	default:
+		col, err := p.parseColName()
+		if err != nil {
+			return item, err
+		}
+		item.Col = col
+	}
+	if p.accept("desc") {
+		item.Desc = true
+	} else {
+		p.accept("asc")
+	}
+	return item, nil
+}
+
+// ParsePredicate parses a standalone predicate expression (the text after
+// WHERE), for APIs that take filter conditions outside a full statement.
+func ParsePredicate(cond string) (expr.Pred, error) {
+	toks, err := lex(cond)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parsePred()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input in predicate at %q", p.peek().text)
+	}
+	return pred, nil
+}

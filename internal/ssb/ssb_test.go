@@ -1,0 +1,95 @@
+package ssb
+
+import (
+	"testing"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+func loadSSB(t testing.TB, skewed bool) *storage.Catalog {
+	t.Helper()
+	d := Generate(Config{SF: 0.002, Skewed: skewed, Seed: 11})
+	cat := storage.NewCatalog()
+	if err := d.Load(cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{SF: 0.002, Seed: 1})
+	if d.Batches["date"].N != 2557 {
+		t.Fatalf("date rows %d", d.Batches["date"].N)
+	}
+	if d.Batches["lineorder"].N < 5000 {
+		t.Fatal("lineorder too small")
+	}
+	// Foreign keys in range.
+	lo := d.Batches["lineorder"]
+	nCust := int64(d.Batches["customer"].N)
+	for _, k := range lo.Cols[1].Ints {
+		if k < 1 || k > nCust {
+			t.Fatalf("lo_custkey %d out of range", k)
+		}
+	}
+	// Date keys reference real dates.
+	dates := map[int64]bool{}
+	for _, k := range d.Batches["date"].Cols[0].Ints {
+		dates[k] = true
+	}
+	for _, k := range lo.Cols[4].Ints {
+		if !dates[k] {
+			t.Fatalf("lo_orderdate %d not in date dim", k)
+		}
+	}
+}
+
+func TestAll13QueriesExecute(t *testing.T) {
+	cat := loadSSB(t, false)
+	qs := Queries()
+	if len(qs) != 13 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("Q%s plan: %v", q.ID, err)
+		}
+		ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}}
+		if _, err := plan.Execute(ec); err != nil {
+			t.Fatalf("Q%s exec: %v", q.ID, err)
+		}
+	}
+}
+
+func TestSSBQueriesHitCache(t *testing.T) {
+	cat := loadSSB(t, true)
+	cache := core.NewCache(core.DefaultConfig())
+	for _, q := range Queries() {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("Q%s: %v", q.ID, err)
+		}
+		for run := 0; run < 2; run++ {
+			ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}, Cache: cache}
+			if _, err := plan.Execute(ec); err != nil {
+				t.Fatalf("Q%s run %d: %v", q.ID, run, err)
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Fatal("no cache hits across SSB suite")
+	}
+}
+
+func TestSkewedVariantOrdered(t *testing.T) {
+	d := Generate(Config{SF: 0.002, Skewed: true, Seed: 2})
+	dates := d.Batches["lineorder"].Cols[4].Ints
+	for i := 1; i < len(dates); i++ {
+		if dates[i] < dates[i-1] {
+			t.Fatal("skewed lineorder not date-ordered")
+		}
+	}
+}

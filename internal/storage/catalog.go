@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Catalog is the database catalog: the set of tables plus the global
+// transaction-id source used for MVCC snapshots.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	xid    atomic.Uint64
+}
+
+// NewCatalog returns an empty catalog. Transaction ids start at 1.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// NextXID allocates a fresh transaction id for a writing statement.
+func (c *Catalog) NextXID() uint64 { return c.xid.Add(1) }
+
+// Snapshot returns the snapshot id a read-only statement should run at: all
+// transactions allocated so far are visible.
+func (c *Catalog) Snapshot() uint64 { return c.xid.Load() }
+
+// CreateTable creates and registers a table.
+func (c *Catalog) CreateTable(name string, schema Schema, numSlices int, sortKey ...string) (*Table, error) {
+	t, err := NewTable(name, schema, numSlices, sortKey...)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("storage: table %s already exists", name)
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// RegisterTable adds an externally built table (used by reorganization
+// baselines that construct a sorted copy).
+func (c *Catalog) RegisterTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[t.Name()]; exists {
+		return fmt.Errorf("storage: table %s already exists", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	delete(c.tables, name)
+	c.mu.Unlock()
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// TableNames returns the registered table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,269 @@
+package storage
+
+import "fmt"
+
+// Block is one sealed, compressed run of up to BlockSize values of a single
+// column, together with its zone map (min-max bounds, §4.2.2 step 1).
+type Block struct {
+	N       int      // number of values
+	Enc     Encoding // physical encoding (integer representations only)
+	Words   []uint64 // payload for integer encodings
+	Floats  []float64
+	MinI    int64 // zone map for integer representations
+	MaxI    int64
+	MinF    float64 // zone map for float columns
+	MaxF    float64
+	isFloat bool
+}
+
+// MemBytes returns the approximate in-memory size of the block payload.
+func (b *Block) MemBytes() int {
+	return len(b.Words)*8 + len(b.Floats)*8
+}
+
+// ColumnStore holds all values of one column of one data slice: a list of
+// sealed compressed blocks plus an open tail buffer that absorbs appends
+// (the per-column view of the insert buffer, §4.3.1).
+type ColumnStore struct {
+	Typ    ColumnType
+	blocks []*Block
+
+	// Open tail: values appended since the last block was sealed.
+	tailInts   []int64
+	tailFloats []float64
+
+	// Dictionary for string columns (shared across blocks of this store's
+	// table column; see Table.dicts). Values stored here are dict codes.
+	dict *Dict
+}
+
+// Dict is an order-of-first-appearance string dictionary. Codes are dense
+// int64s. Because codes are not order-preserving, zone maps on string
+// columns are only useful for equality predicates.
+type Dict struct {
+	vals  []string
+	index map[string]int64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int64)}
+}
+
+// Code returns the code for s, adding it if new.
+func (d *Dict) Code(s string) int64 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := int64(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.index[s] = c
+	return c
+}
+
+// Lookup returns the code for s and whether it exists.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Value returns the string for a code.
+func (d *Dict) Value(code int64) string { return d.vals[code] }
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// MemBytes approximates the dictionary's memory footprint.
+func (d *Dict) MemBytes() int {
+	n := 0
+	for _, v := range d.vals {
+		n += len(v) + 16 // string header
+	}
+	return n + len(d.vals)*24 // map entries, rough
+}
+
+func newColumnStore(typ ColumnType, dict *Dict) *ColumnStore {
+	return &ColumnStore{Typ: typ, dict: dict}
+}
+
+// Len returns the number of values in the column store.
+func (c *ColumnStore) Len() int {
+	n := 0
+	for _, b := range c.blocks {
+		n += b.N
+	}
+	if c.Typ == Float64 {
+		return n + len(c.tailFloats)
+	}
+	return n + len(c.tailInts)
+}
+
+// NumBlocks returns the number of blocks, counting the open tail as one.
+func (c *ColumnStore) NumBlocks() int {
+	n := len(c.blocks)
+	if len(c.tailInts) > 0 || len(c.tailFloats) > 0 {
+		n++
+	}
+	return n
+}
+
+// appendInt adds one integer-representation value.
+func (c *ColumnStore) appendInt(v int64) {
+	c.tailInts = append(c.tailInts, v)
+	if len(c.tailInts) == BlockSize {
+		c.seal()
+	}
+}
+
+// appendFloat adds one float value.
+func (c *ColumnStore) appendFloat(v float64) {
+	c.tailFloats = append(c.tailFloats, v)
+	if len(c.tailFloats) == BlockSize {
+		c.seal()
+	}
+}
+
+// seal compresses the open tail into a block.
+func (c *ColumnStore) seal() {
+	if c.Typ == Float64 {
+		if len(c.tailFloats) == 0 {
+			return
+		}
+		min, max := c.tailFloats[0], c.tailFloats[0]
+		for _, v := range c.tailFloats[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		data := make([]float64, len(c.tailFloats))
+		copy(data, c.tailFloats)
+		c.blocks = append(c.blocks, &Block{N: len(data), Floats: data, MinF: min, MaxF: max, isFloat: true})
+		c.tailFloats = c.tailFloats[:0]
+		return
+	}
+	if len(c.tailInts) == 0 {
+		return
+	}
+	min, max := c.tailInts[0], c.tailInts[0]
+	for _, v := range c.tailInts[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	enc, words := encodeInts(c.tailInts, min, max)
+	c.blocks = append(c.blocks, &Block{N: len(c.tailInts), Enc: enc, Words: words, MinI: min, MaxI: max})
+	c.tailInts = c.tailInts[:0]
+}
+
+// blockAt returns the index of the block containing row, assuming all sealed
+// blocks are full (BlockSize rows) except possibly the tail. Appends always
+// seal exactly at BlockSize, so this invariant holds.
+func (c *ColumnStore) blockAt(row int) int { return row / BlockSize }
+
+// ReadIntBlock decompresses block i into dst (must have cap >= BlockSize)
+// and returns the number of values. Block indexes past the sealed blocks
+// refer to the open tail.
+func (c *ColumnStore) ReadIntBlock(i int, dst []int64) int {
+	if i < len(c.blocks) {
+		b := c.blocks[i]
+		decodeInts(b.Enc, b.Words, b.N, b.MinI, b.MaxI, dst)
+		return b.N
+	}
+	return copy(dst, c.tailInts)
+}
+
+// ReadFloatBlock decompresses float block i into dst.
+func (c *ColumnStore) ReadFloatBlock(i int, dst []float64) int {
+	if i < len(c.blocks) {
+		b := c.blocks[i]
+		return copy(dst, b.Floats)
+	}
+	return copy(dst, c.tailFloats)
+}
+
+// IntBounds returns the zone-map bounds of block i (tail included).
+func (c *ColumnStore) IntBounds(i int) (min, max int64, ok bool) {
+	if i < len(c.blocks) {
+		b := c.blocks[i]
+		return b.MinI, b.MaxI, true
+	}
+	if len(c.tailInts) == 0 {
+		return 0, 0, false
+	}
+	min, max = c.tailInts[0], c.tailInts[0]
+	for _, v := range c.tailInts[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// FloatBounds returns the zone-map bounds of float block i.
+func (c *ColumnStore) FloatBounds(i int) (min, max float64, ok bool) {
+	if i < len(c.blocks) {
+		b := c.blocks[i]
+		return b.MinF, b.MaxF, true
+	}
+	if len(c.tailFloats) == 0 {
+		return 0, 0, false
+	}
+	min, max = c.tailFloats[0], c.tailFloats[0]
+	for _, v := range c.tailFloats[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// IntAt returns the value at row (slow path for point accesses).
+func (c *ColumnStore) IntAt(row int, scratch []int64) int64 {
+	bi := c.blockAt(row)
+	if bi < len(c.blocks) {
+		n := c.ReadIntBlock(bi, scratch)
+		_ = n
+		return scratch[row-bi*BlockSize]
+	}
+	return c.tailInts[row-len(c.blocks)*BlockSize]
+}
+
+// FloatAt returns the float value at row.
+func (c *ColumnStore) FloatAt(row int, scratch []float64) float64 {
+	bi := c.blockAt(row)
+	if bi < len(c.blocks) {
+		c.ReadFloatBlock(bi, scratch)
+		return scratch[row-bi*BlockSize]
+	}
+	return c.tailFloats[row-len(c.blocks)*BlockSize]
+}
+
+// MemBytes approximates the memory footprint of the column store, excluding
+// the shared dictionary.
+func (c *ColumnStore) MemBytes() int {
+	n := len(c.tailInts)*8 + len(c.tailFloats)*8
+	for _, b := range c.blocks {
+		n += b.MemBytes()
+	}
+	return n
+}
+
+// ZoneMapBytes returns the size of the zone maps alone: two 8-byte bounds
+// per block (the "ZoneMap" row of Table 3).
+func (c *ColumnStore) ZoneMapBytes() int { return c.NumBlocks() * 16 }
+
+func (c *ColumnStore) String() string {
+	return fmt.Sprintf("column{%s, %d rows, %d blocks}", c.Typ, c.Len(), c.NumBlocks())
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, vals []int64) {
+	t.Helper()
+	if len(vals) == 0 {
+		return
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	enc, payload := encodeInts(vals, min, max)
+	out := make([]int64, len(vals))
+	decodeInts(enc, payload, len(vals), min, max, out)
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("enc %v: value %d: got %d want %d", enc, i, out[i], vals[i])
+		}
+	}
+}
+
+func TestEncodeRoundTripConstant(t *testing.T) {
+	vals := make([]int64, 777)
+	for i := range vals {
+		vals[i] = 42
+	}
+	roundTrip(t, vals)
+}
+
+func TestEncodeRoundTripSequential(t *testing.T) {
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = int64(i) + 1_000_000
+	}
+	roundTrip(t, vals)
+}
+
+func TestEncodeRoundTripRuns(t *testing.T) {
+	var vals []int64
+	r := rand.New(rand.NewSource(7))
+	for len(vals) < BlockSize {
+		v := r.Int63n(5)
+		run := 1 + r.Intn(50)
+		for j := 0; j < run && len(vals) < BlockSize; j++ {
+			vals = append(vals, v)
+		}
+	}
+	roundTrip(t, vals)
+}
+
+func TestEncodeRoundTripExtremes(t *testing.T) {
+	roundTrip(t, []int64{math.MinInt64, math.MaxInt64, 0, -1, 1})
+	roundTrip(t, []int64{math.MinInt64, math.MinInt64})
+	roundTrip(t, []int64{math.MaxInt64})
+	roundTrip(t, []int64{-5, -5, -5, -4})
+}
+
+func TestEncodeRoundTripNegativeSpan(t *testing.T) {
+	vals := []int64{-1000, -999, -998, -500, -1}
+	roundTrip(t, vals)
+}
+
+func TestEncodePicksRLEForConstants(t *testing.T) {
+	vals := make([]int64, BlockSize)
+	enc, payload := encodeInts(vals, 0, 0)
+	if enc != EncRLE && enc != EncFOR {
+		t.Fatalf("constant block should not stay raw, got %v", enc)
+	}
+	if len(payload) >= len(vals) {
+		t.Fatalf("constant block should compress: %d words for %d values", len(payload), len(vals))
+	}
+}
+
+func TestEncodePicksFORForSmallRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	vals := make([]int64, BlockSize)
+	for i := range vals {
+		vals[i] = 1 << 40
+		vals[i] += r.Int63n(16)
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	enc, payload := encodeInts(vals, min, max)
+	if enc != EncFOR {
+		t.Fatalf("want FOR, got %v", enc)
+	}
+	if len(payload) > BlockSize/8 {
+		t.Fatalf("FOR payload too large: %d words", len(payload))
+	}
+	roundTrip(t, vals)
+}
+
+// Property: encode/decode is the identity for arbitrary inputs.
+func TestEncodeRoundTripQuick(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 || len(vals) > BlockSize {
+			return true
+		}
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		enc, payload := encodeInts(vals, min, max)
+		out := make([]int64, len(vals))
+		decodeInts(enc, payload, len(vals), min, max, out)
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncRaw.String() != "raw" || EncRLE.String() != "rle" || EncFOR.String() != "for" {
+		t.Fatal("encoding names wrong")
+	}
+	if Encoding(99).String() != "unknown" {
+		t.Fatal("unknown encoding name wrong")
+	}
+}
+
+func TestForWidth(t *testing.T) {
+	cases := []struct {
+		min, max int64
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 255, 8},
+		{-1, 0, 1},
+		{math.MinInt64, math.MaxInt64, 64},
+		{100, 100, 0},
+	}
+	for _, c := range cases {
+		if got := forWidth(c.min, c.max); got != c.want {
+			t.Errorf("forWidth(%d,%d)=%d want %d", c.min, c.max, got, c.want)
+		}
+	}
+}

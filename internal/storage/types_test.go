@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := []struct{ y, m, d int }{
+		{1970, 1, 1}, {1969, 12, 31}, {2000, 2, 29}, {1995, 1, 1},
+		{1995, 1, 31}, {1900, 3, 1}, {2400, 12, 31}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		days := DateFromYMD(c.y, c.m, c.d)
+		y, m, d := YMDFromDate(days)
+		if y != c.y || m != c.m || d != c.d {
+			t.Errorf("round trip %04d-%02d-%02d -> %d -> %04d-%02d-%02d", c.y, c.m, c.d, days, y, m, d)
+		}
+	}
+	if DateFromYMD(1970, 1, 1) != 0 {
+		t.Errorf("epoch should be day 0, got %d", DateFromYMD(1970, 1, 1))
+	}
+}
+
+func TestDateMatchesTimePackage(t *testing.T) {
+	// Cross-check against the standard library over a broad range.
+	for days := int64(-40000); days <= 40000; days += 137 {
+		y, m, d := YMDFromDate(days)
+		want := time.Unix(0, 0).UTC().AddDate(0, 0, int(days))
+		if y != want.Year() || m != int(want.Month()) || d != want.Day() {
+			t.Fatalf("day %d: got %04d-%02d-%02d want %s", days, y, m, d, want.Format("2006-01-02"))
+		}
+	}
+}
+
+func TestParseFormatDate(t *testing.T) {
+	d, err := ParseDate("1995-01-31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatDate(d); got != "1995-01-31" {
+		t.Fatalf("got %s", got)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := ParseDate("1995-13-01"); err == nil {
+		t.Fatal("expected error for month 13")
+	}
+}
+
+func TestDateQuick(t *testing.T) {
+	f := func(n int32) bool {
+		days := int64(n % 1_000_000)
+		y, m, d := YMDFromDate(days)
+		return DateFromYMD(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	ok := []RowRange{{0, 5}, {7, 9}, {9, 10}}
+	if err := ValidateRanges(ok, 10); err != nil {
+		t.Fatalf("valid ranges rejected: %v", err)
+	}
+	bad := [][]RowRange{
+		{{5, 5}},         // empty
+		{{-1, 3}},        // negative
+		{{0, 11}},        // past end
+		{{0, 5}, {4, 8}}, // overlap
+		{{5, 8}, {0, 2}}, // unsorted
+	}
+	for i, rs := range bad {
+		if err := ValidateRanges(rs, 10); err == nil {
+			t.Errorf("case %d: invalid ranges accepted", i)
+		}
+	}
+}
+
+func TestRangesRowCount(t *testing.T) {
+	if n := RangesRowCount([]RowRange{{0, 5}, {10, 12}}); n != 7 {
+		t.Fatalf("got %d", n)
+	}
+	if n := RangesRowCount(nil); n != 0 {
+		t.Fatalf("got %d", n)
+	}
+}
+
+func TestColumnTypeString(t *testing.T) {
+	names := map[ColumnType]string{
+		Int64: "bigint", Float64: "double", Date: "date", String: "varchar", Bool: "boolean",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%v", typ)
+		}
+	}
+	if !Int64.IsInt() || Float64.IsInt() || !Date.IsInt() || !String.IsInt() || !Bool.IsInt() {
+		t.Fatal("IsInt wrong")
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := Schema{{"a", Int64}, {"b", Float64}}
+	if s.ColumnIndex("b") != 1 || s.ColumnIndex("z") != -1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package tpcds
+
+import (
+	"testing"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+func loadDS(t testing.TB, skewed bool) *storage.Catalog {
+	t.Helper()
+	d := Generate(Config{SF: 0.003, Skewed: skewed, Seed: 21})
+	cat := storage.NewCatalog()
+	if err := d.Load(cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGenerateIntegrity(t *testing.T) {
+	d := Generate(Config{SF: 0.003, Seed: 1})
+	ss := d.Batches["store_sales"]
+	nItem := int64(d.Batches["item"].N)
+	nDates := int64(d.Batches["date_dim"].N)
+	for i := 0; i < ss.N; i++ {
+		if k := ss.Cols[1].Ints[i]; k < 1 || k > nItem {
+			t.Fatalf("ss_item_sk %d out of range", k)
+		}
+		if k := ss.Cols[0].Ints[i]; k < 1 || k > nDates {
+			t.Fatalf("ss_sold_date_sk %d out of range", k)
+		}
+	}
+	if ss.N < 8000 {
+		t.Fatal("fact table too small")
+	}
+}
+
+func TestAllQueriesExecute(t *testing.T) {
+	cat := loadDS(t, false)
+	qs := Queries()
+	if len(qs) != 20 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("%s plan: %v", q.ID, err)
+		}
+		ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}}
+		if _, err := plan.Execute(ec); err != nil {
+			t.Fatalf("%s exec: %v", q.ID, err)
+		}
+	}
+}
+
+func TestQueriesCacheable(t *testing.T) {
+	cat := loadDS(t, true)
+	cache := core.NewCache(core.DefaultConfig())
+	for _, q := range Queries() {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}, Cache: cache}
+			if _, err := plan.Execute(ec); err != nil {
+				t.Fatalf("%s: %v", q.ID, err)
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Fatal("no hits")
+	}
+}
+
+func TestSkewedOrdering(t *testing.T) {
+	d := Generate(Config{SF: 0.003, Skewed: true, Seed: 3})
+	keys := d.Batches["store_sales"].Cols[0].Ints
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("skewed fact not date-ordered")
+		}
+	}
+}

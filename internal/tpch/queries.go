@@ -1,0 +1,494 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/sql"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Params are the substitution parameters of the 22 queries. DefaultParams
+// returns the TPC-H validation values; Randomize draws a fresh instance the
+// way the benchmark's qgen does, producing the "similar queries with
+// different literals" pattern the workload experiments need.
+type Params struct {
+	Q1Delta     int    // days subtracted from 1998-12-01
+	Q2Size      int    // p_size
+	Q2Type      string // p_type suffix
+	Q2Region    string
+	Q3Segment   string
+	Q3Date      string
+	Q4Date      string // quarter start
+	Q5Region    string
+	Q5Date      string // year start
+	Q6Date      string
+	Q6Discount  float64
+	Q6Quantity  int
+	Q7Nation1   string
+	Q7Nation2   string
+	Q8Nation    string
+	Q8Region    string
+	Q8Type      string
+	Q9Color     string
+	Q10Date     string // quarter start
+	Q11Nation   string
+	Q11Thresh   float64
+	Q12Mode1    string
+	Q12Mode2    string
+	Q12Date     string
+	Q14Date     string
+	Q15Date     string
+	Q16Brand    string
+	Q16Type     string
+	Q16Sizes    [8]int
+	Q17Brand    string
+	Q17Cont     string
+	Q17Quantity int
+	Q18Quantity int
+	Q19Brand1   string
+	Q19Brand2   string
+	Q19Brand3   string
+	Q19Qty1     int
+	Q19Qty2     int
+	Q19Qty3     int
+	Q20Color    string
+	Q20Nation   string
+	Q20Avail    int
+	Q21Nation   string
+	Q22Balance  float64
+}
+
+// DefaultParams returns the validation parameter set.
+func DefaultParams() Params {
+	return Params{
+		Q1Delta: 90,
+		Q2Size:  15, Q2Type: "BRASS", Q2Region: "EUROPE",
+		Q3Segment: "BUILDING", Q3Date: "1995-03-15",
+		Q4Date:   "1996-07-01",
+		Q5Region: "ASIA", Q5Date: "1996-01-01",
+		Q6Date: "1996-01-01", Q6Discount: 0.06, Q6Quantity: 24,
+		Q7Nation1: "FRANCE", Q7Nation2: "GERMANY",
+		Q8Nation: "BRAZIL", Q8Region: "AMERICA", Q8Type: "ECONOMY ANODIZED STEEL",
+		Q9Color:   "green",
+		Q10Date:   "1996-10-01",
+		Q11Nation: "GERMANY", Q11Thresh: 0,
+		Q12Mode1: "MAIL", Q12Mode2: "SHIP", Q12Date: "1996-01-01",
+		Q14Date:  "1997-09-01",
+		Q15Date:  "1997-01-01",
+		Q16Brand: "Brand#45", Q16Type: "MEDIUM POLISHED", Q16Sizes: [8]int{49, 14, 23, 45, 19, 3, 36, 9},
+		Q17Brand: "Brand#23", Q17Cont: "MED BOX", Q17Quantity: 5,
+		Q18Quantity: 150,
+		Q19Brand1:   "Brand#12", Q19Brand2: "Brand#23", Q19Brand3: "Brand#34",
+		Q19Qty1: 1, Q19Qty2: 10, Q19Qty3: 20,
+		Q20Color: "forest", Q20Nation: "CANADA", Q20Avail: 5000,
+		Q21Nation:  "SAUDI ARABIA",
+		Q22Balance: 0,
+	}
+}
+
+// Randomize draws a fresh parameter instance.
+func (p *Params) Randomize(r *rand.Rand) {
+	*p = DefaultParams()
+	p.Q1Delta = 60 + r.Intn(60)
+	p.Q2Size = r.Intn(50) + 1
+	p.Q2Type = typeSyl3[r.Intn(len(typeSyl3))]
+	p.Q2Region = regionNames[r.Intn(len(regionNames))]
+	p.Q3Segment = segments[r.Intn(len(segments))]
+	p.Q3Date = fmt.Sprintf("1995-03-%02d", r.Intn(28)+1)
+	p.Q4Date = fmt.Sprintf("%d-%02d-01", 1995+r.Intn(3), []int{1, 4, 7, 10}[r.Intn(4)])
+	p.Q5Region = regionNames[r.Intn(len(regionNames))]
+	p.Q5Date = fmt.Sprintf("%d-01-01", 1995+r.Intn(3))
+	p.Q6Date = fmt.Sprintf("%d-01-01", 1995+r.Intn(3))
+	p.Q6Discount = float64(2+r.Intn(8)) / 100
+	p.Q6Quantity = 24 + r.Intn(2)
+	n1, n2 := r.Intn(len(nations)), r.Intn(len(nations))
+	if n1 == n2 {
+		n2 = (n2 + 1) % len(nations)
+	}
+	p.Q7Nation1, p.Q7Nation2 = nations[n1].name, nations[n2].name
+	p.Q8Nation = nations[r.Intn(len(nations))].name
+	p.Q8Region = regionNames[nations[indexOfNation(p.Q8Nation)].region]
+	p.Q8Type = typeSyl1[r.Intn(len(typeSyl1))] + " " + typeSyl2[r.Intn(len(typeSyl2))] + " " + typeSyl3[r.Intn(len(typeSyl3))]
+	p.Q9Color = colors[r.Intn(len(colors))]
+	p.Q10Date = fmt.Sprintf("%d-%02d-01", 1995+r.Intn(3), []int{1, 4, 7, 10}[r.Intn(4)])
+	p.Q11Nation = nations[r.Intn(len(nations))].name
+	p.Q12Mode1 = shipModes[r.Intn(len(shipModes))]
+	p.Q12Mode2 = shipModes[r.Intn(len(shipModes))]
+	p.Q12Date = fmt.Sprintf("%d-01-01", 1995+r.Intn(3))
+	p.Q14Date = fmt.Sprintf("%d-%02d-01", 1995+r.Intn(3), r.Intn(12)+1)
+	p.Q15Date = fmt.Sprintf("%d-%02d-01", 1995+r.Intn(3), []int{1, 4, 7, 10}[r.Intn(4)])
+	p.Q16Brand = fmt.Sprintf("Brand#%d%d", r.Intn(5)+1, r.Intn(5)+1)
+	p.Q16Type = typeSyl1[r.Intn(len(typeSyl1))] + " " + typeSyl2[r.Intn(len(typeSyl2))]
+	for i := range p.Q16Sizes {
+		p.Q16Sizes[i] = r.Intn(50) + 1
+	}
+	p.Q17Brand = fmt.Sprintf("Brand#%d%d", r.Intn(5)+1, r.Intn(5)+1)
+	p.Q17Cont = containers[r.Intn(len(containers))] + " " + containerT[r.Intn(len(containerT))]
+	p.Q17Quantity = 2 + r.Intn(9)
+	p.Q18Quantity = 120 + r.Intn(120)
+	p.Q19Brand1 = fmt.Sprintf("Brand#%d%d", r.Intn(5)+1, r.Intn(5)+1)
+	p.Q19Brand2 = fmt.Sprintf("Brand#%d%d", r.Intn(5)+1, r.Intn(5)+1)
+	p.Q19Brand3 = fmt.Sprintf("Brand#%d%d", r.Intn(5)+1, r.Intn(5)+1)
+	p.Q19Qty1 = 1 + r.Intn(10)
+	p.Q19Qty2 = 10 + r.Intn(10)
+	p.Q19Qty3 = 20 + r.Intn(10)
+	p.Q20Color = colors[r.Intn(len(colors))]
+	p.Q20Nation = nations[r.Intn(len(nations))].name
+	p.Q21Nation = nations[r.Intn(len(nations))].name
+}
+
+func indexOfNation(name string) int {
+	for i, n := range nations {
+		if n.name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+// Query is one benchmark query: either SQL text or, for the two queries
+// needing join types outside the SQL subset (13, 22), a plan builder.
+type Query struct {
+	ID   int
+	Name string
+	SQL  string
+	// Build constructs the plan directly (nil when SQL is used).
+	Build func(cat *storage.Catalog) (engine.Node, error)
+	// Note documents the simplification relative to the official query.
+	Note string
+}
+
+// Plan returns the executable plan for the query.
+func (q Query) Plan(cat *storage.Catalog) (engine.Node, error) {
+	if q.Build != nil {
+		return q.Build(cat)
+	}
+	return sql.PlanSQL(q.SQL, cat)
+}
+
+// Text returns a stable textual form of the query (the result-cache key).
+func (q Query) Text() string {
+	if q.SQL != "" {
+		return q.SQL
+	}
+	return fmt.Sprintf("builder:q%d:%s", q.ID, q.Name)
+}
+
+// Queries returns all 22 TPC-H queries instantiated with params.
+func Queries(p Params) []Query {
+	qs := []Query{
+		{ID: 1, Name: "pricing-summary", SQL: fmt.Sprintf(`
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-12-01' - interval '%d' day
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus`, p.Q1Delta)},
+
+		{ID: 2, Name: "minimum-cost-supplier", Note: "correlated min(ps_supplycost) subquery dropped; returns all matching suppliers ordered by balance", SQL: fmt.Sprintf(`
+select s_acctbal, s_name, n_name, p_partkey, p_mfgr
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey
+  and s_suppkey = ps_suppkey
+  and p_size = %d
+  and p_type like '%%%s'
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = '%s'
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100`, p.Q2Size, p.Q2Type, p.Q2Region)},
+
+		{ID: 3, Name: "shipping-priority", SQL: fmt.Sprintf(`
+select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+       o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = '%s'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < date '%s'
+  and l_shipdate > date '%s'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10`, p.Q3Segment, p.Q3Date, p.Q3Date)},
+
+		{ID: 4, Name: "order-priority", Note: "exists subquery rewritten as join + count(distinct o_orderkey)", SQL: fmt.Sprintf(`
+select o_orderpriority, count(distinct o_orderkey) as order_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and o_orderdate >= date '%s'
+  and o_orderdate < date '%s' + interval '3' month
+  and l_commitdate < l_receiptdate
+group by o_orderpriority
+order by o_orderpriority`, p.Q4Date, p.Q4Date)},
+
+		{ID: 5, Name: "local-supplier-volume", SQL: fmt.Sprintf(`
+select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = '%s'
+  and o_orderdate >= date '%s'
+  and o_orderdate < date '%s' + interval '1' year
+group by n_name
+order by revenue desc`, p.Q5Region, p.Q5Date, p.Q5Date)},
+
+		{ID: 6, Name: "forecast-revenue-change", SQL: fmt.Sprintf(`
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '%s'
+  and l_shipdate < date '%s' + interval '1' year
+  and l_discount between %.2f and %.2f
+  and l_quantity < %d`, p.Q6Date, p.Q6Date, p.Q6Discount-0.01, p.Q6Discount+0.01, p.Q6Quantity)},
+
+		{ID: 7, Name: "volume-shipping", SQL: fmt.Sprintf(`
+select n1.n_name as supp_nation, n2.n_name as cust_nation,
+       extract(year from l_shipdate) as l_year,
+       sum(l_extendedprice * (1 - l_discount)) as revenue
+from supplier, lineitem, orders, customer, nation n1, nation n2
+where s_suppkey = l_suppkey
+  and o_orderkey = l_orderkey
+  and c_custkey = o_custkey
+  and s_nationkey = n1.n_nationkey
+  and c_nationkey = n2.n_nationkey
+  and ((n1.n_name = '%s' and n2.n_name = '%s') or (n1.n_name = '%s' and n2.n_name = '%s'))
+  and l_shipdate between date '1995-01-01' and date '1996-12-31'
+group by n1.n_name, n2.n_name, extract(year from l_shipdate)
+order by supp_nation, cust_nation, l_year`, p.Q7Nation1, p.Q7Nation2, p.Q7Nation2, p.Q7Nation1)},
+
+		{ID: 8, Name: "market-share", SQL: fmt.Sprintf(`
+select extract(year from o_orderdate) as o_year,
+       sum(case when n2.n_name = '%s' then l_extendedprice * (1 - l_discount) else 0 end) / sum(l_extendedprice * (1 - l_discount)) as mkt_share
+from part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+where p_partkey = l_partkey
+  and s_suppkey = l_suppkey
+  and l_orderkey = o_orderkey
+  and o_custkey = c_custkey
+  and c_nationkey = n1.n_nationkey
+  and n1.n_regionkey = r_regionkey
+  and r_name = '%s'
+  and s_nationkey = n2.n_nationkey
+  and o_orderdate between date '1995-01-01' and date '1996-12-31'
+  and p_type = '%s'
+group by extract(year from o_orderdate)
+order by o_year`, p.Q8Nation, p.Q8Region, p.Q8Type)},
+
+		{ID: 9, Name: "product-type-profit", SQL: fmt.Sprintf(`
+select n_name as nation, extract(year from o_orderdate) as o_year,
+       sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) as sum_profit
+from part, supplier, lineitem, partsupp, orders, nation
+where s_suppkey = l_suppkey
+  and ps_suppkey = l_suppkey
+  and ps_partkey = l_partkey
+  and p_partkey = l_partkey
+  and o_orderkey = l_orderkey
+  and s_nationkey = n_nationkey
+  and p_name like '%%%s%%'
+group by n_name, extract(year from o_orderdate)
+order by nation, o_year desc`, p.Q9Color)},
+
+		{ID: 10, Name: "returned-items", SQL: fmt.Sprintf(`
+select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue,
+       c_acctbal, n_name
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate >= date '%s'
+  and o_orderdate < date '%s' + interval '3' month
+  and l_returnflag = 'R'
+  and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, n_name
+order by revenue desc
+limit 20`, p.Q10Date, p.Q10Date)},
+
+		{ID: 11, Name: "important-stock", Note: "global-sum fraction subquery replaced by a constant HAVING threshold", SQL: fmt.Sprintf(`
+select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+from partsupp, supplier, nation
+where ps_suppkey = s_suppkey
+  and s_nationkey = n_nationkey
+  and n_name = '%s'
+group by ps_partkey
+having sum(ps_supplycost * ps_availqty) > %.2f
+order by value desc
+limit 100`, p.Q11Nation, p.Q11Thresh)},
+
+		{ID: 12, Name: "shipping-modes", SQL: fmt.Sprintf(`
+select l_shipmode,
+       sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' then 1 else 0 end) as high_line_count,
+       sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' then 1 else 0 end) as low_line_count
+from orders, lineitem
+where o_orderkey = l_orderkey
+  and l_shipmode in ('%s', '%s')
+  and l_commitdate < l_receiptdate
+  and l_shipdate < l_commitdate
+  and l_receiptdate >= date '%s'
+  and l_receiptdate < date '%s' + interval '1' year
+group by l_shipmode
+order by l_shipmode`, p.Q12Mode1, p.Q12Mode2, p.Q12Date, p.Q12Date)},
+
+		{ID: 13, Name: "customer-distribution", Note: "left outer join built directly (SQL subset has inner joins only); o_comment filter dropped (no comment columns generated)",
+			Build: buildQ13},
+
+		{ID: 14, Name: "promotion-effect", SQL: fmt.Sprintf(`
+select 100.00 * sum(case when p_type like 'PROMO%%' then l_extendedprice * (1 - l_discount) else 0 end) / sum(l_extendedprice * (1 - l_discount)) as promo_revenue
+from lineitem, part
+where l_partkey = p_partkey
+  and l_shipdate >= date '%s'
+  and l_shipdate < date '%s' + interval '1' month`, p.Q14Date, p.Q14Date)},
+
+		{ID: 15, Name: "top-supplier", Note: "max-revenue view replaced by order by revenue desc limit 1", SQL: fmt.Sprintf(`
+select l_suppkey, sum(l_extendedprice * (1 - l_discount)) as total_revenue
+from lineitem
+where l_shipdate >= date '%s'
+  and l_shipdate < date '%s' + interval '3' month
+group by l_suppkey
+order by total_revenue desc
+limit 1`, p.Q15Date, p.Q15Date)},
+
+		{ID: 16, Name: "parts-supplier-relationship", Note: "not-in-complaints-supplier subquery dropped", SQL: fmt.Sprintf(`
+select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt
+from partsupp, part
+where p_partkey = ps_partkey
+  and p_brand <> '%s'
+  and p_type not like '%s%%'
+  and p_size in (%d, %d, %d, %d, %d, %d, %d, %d)
+group by p_brand, p_type, p_size
+order by supplier_cnt desc, p_brand, p_type, p_size
+limit 100`, p.Q16Brand, p.Q16Type,
+			p.Q16Sizes[0], p.Q16Sizes[1], p.Q16Sizes[2], p.Q16Sizes[3],
+			p.Q16Sizes[4], p.Q16Sizes[5], p.Q16Sizes[6], p.Q16Sizes[7])},
+
+		{ID: 17, Name: "small-quantity-order", Note: "per-part 0.2*avg(l_quantity) subquery replaced by a constant quantity threshold", SQL: fmt.Sprintf(`
+select sum(l_extendedprice) / 7.0 as avg_yearly
+from lineitem, part
+where p_partkey = l_partkey
+  and p_brand = '%s'
+  and p_container = '%s'
+  and l_quantity < %d`, p.Q17Brand, p.Q17Cont, p.Q17Quantity)},
+
+		{ID: 18, Name: "large-volume-customer", Note: "in-subquery folded into HAVING over the join", SQL: fmt.Sprintf(`
+select c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) as total_qty
+from customer, orders, lineitem
+where c_custkey = o_custkey
+  and o_orderkey = l_orderkey
+group by c_custkey, o_orderkey, o_orderdate, o_totalprice
+having sum(l_quantity) > %d
+order by o_totalprice desc, o_orderdate
+limit 100`, p.Q18Quantity)},
+
+		{ID: 19, Name: "discounted-revenue", SQL: fmt.Sprintf(`
+select sum(l_extendedprice * (1 - l_discount)) as revenue
+from lineitem, part
+where p_partkey = l_partkey
+  and ((p_brand = '%s' and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') and l_quantity between %d and %d and p_size between 1 and 5 and l_shipmode in ('AIR', 'REG AIR') and l_shipinstruct = 'DELIVER IN PERSON')
+    or (p_brand = '%s' and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') and l_quantity between %d and %d and p_size between 1 and 10 and l_shipmode in ('AIR', 'REG AIR') and l_shipinstruct = 'DELIVER IN PERSON')
+    or (p_brand = '%s' and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') and l_quantity between %d and %d and p_size between 1 and 15 and l_shipmode in ('AIR', 'REG AIR') and l_shipinstruct = 'DELIVER IN PERSON'))`,
+			p.Q19Brand1, p.Q19Qty1, p.Q19Qty1+10,
+			p.Q19Brand2, p.Q19Qty2, p.Q19Qty2+10,
+			p.Q19Brand3, p.Q19Qty3, p.Q19Qty3+10)},
+
+		{ID: 20, Name: "potential-promotion", Note: "nested excess-stock subqueries replaced by an availqty threshold", SQL: fmt.Sprintf(`
+select s_name, count(*) as part_count
+from supplier, nation, partsupp, part
+where s_suppkey = ps_suppkey
+  and p_partkey = ps_partkey
+  and p_name like '%s%%'
+  and ps_availqty > %d
+  and s_nationkey = n_nationkey
+  and n_name = '%s'
+group by s_name
+order by s_name
+limit 100`, p.Q20Color, p.Q20Avail, p.Q20Nation)},
+
+		{ID: 21, Name: "suppliers-kept-waiting", Note: "exists/not-exists other-supplier conditions dropped", SQL: fmt.Sprintf(`
+select s_name, count(*) as numwait
+from supplier, lineitem, orders, nation
+where s_suppkey = l_suppkey
+  and o_orderkey = l_orderkey
+  and o_orderstatus = 'F'
+  and l_receiptdate > l_commitdate
+  and s_nationkey = n_nationkey
+  and n_name = '%s'
+group by s_name
+order by numwait desc, s_name
+limit 100`, p.Q21Nation)},
+
+		{ID: 22, Name: "global-sales-opportunity", Note: "phone-prefix test replaced by nation keys; not-exists(orders) built as an anti join",
+			Build: func(cat *storage.Catalog) (engine.Node, error) { return buildQ22(cat, p.Q22Balance) }},
+	}
+	return qs
+}
+
+// buildQ13 counts customers by their number of orders, including customers
+// with none: inner-join counts unioned with anti-join zeros.
+func buildQ13(cat *storage.Catalog) (engine.Node, error) {
+	// Per-customer order counts (customers with >= 1 order).
+	perCust := &engine.Agg{
+		Input:   &engine.Scan{Table: "orders", Project: []string{"o_custkey"}},
+		GroupBy: []string{"o_custkey"},
+		Aggs:    []engine.AggSpec{{Func: engine.AggCount, Name: "c_count"}},
+	}
+	// Customers with no orders get count 0 via an anti join.
+	zeros := &engine.Project{
+		Input: &engine.Join{
+			Left:      &engine.Scan{Table: "customer", Project: []string{"c_custkey"}},
+			Right:     &engine.Scan{Table: "orders", Project: []string{"o_custkey"}},
+			LeftKeys:  []string{"c_custkey"},
+			RightKeys: []string{"o_custkey"},
+			Type:      engine.AntiJoin,
+		},
+		Exprs: []engine.NamedScalar{
+			{Expr: expr.Col("c_custkey"), Name: "o_custkey"},
+			{Expr: expr.Const(expr.Int(0)), Name: "c_count"},
+		},
+	}
+	// Distribution: how many customers share each order count.
+	dist := &engine.Agg{
+		Input:   &engine.Union{Inputs: []engine.Node{perCust, zeros}},
+		GroupBy: []string{"c_count"},
+		Aggs:    []engine.AggSpec{{Func: engine.AggCount, Name: "custdist"}},
+	}
+	return &engine.Sort{
+		Input: dist,
+		Keys:  []engine.SortKey{{Col: "custdist", Desc: true}, {Col: "c_count", Desc: true}},
+	}, nil
+}
+
+// buildQ22 aggregates account balances of customers with positive balance
+// and no orders (anti join), grouped by nation key (standing in for the
+// phone country code).
+func buildQ22(cat *storage.Catalog, minBal float64) (engine.Node, error) {
+	noOrders := &engine.Join{
+		Left: &engine.Scan{
+			Table:   "customer",
+			Filter:  expr.Cmp("c_acctbal", expr.Gt, expr.Float(minBal)),
+			Project: []string{"c_custkey", "c_nationkey", "c_acctbal"},
+		},
+		Right:     &engine.Scan{Table: "orders", Project: []string{"o_custkey"}},
+		LeftKeys:  []string{"c_custkey"},
+		RightKeys: []string{"o_custkey"},
+		Type:      engine.AntiJoin,
+	}
+	agg := &engine.Agg{
+		Input:   noOrders,
+		GroupBy: []string{"c_nationkey"},
+		Aggs: []engine.AggSpec{
+			{Func: engine.AggCount, Name: "numcust"},
+			{Func: engine.AggSum, Arg: expr.Col("c_acctbal"), Name: "totacctbal"},
+		},
+	}
+	return &engine.Sort{Input: agg, Keys: []engine.SortKey{{Col: "c_nationkey"}}}, nil
+}

@@ -1,0 +1,294 @@
+package tpch
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+func loadTest(t testing.TB, skewed bool) (*storage.Catalog, *Data) {
+	t.Helper()
+	d := Generate(Config{SF: 0.002, Skewed: skewed, Seed: 42})
+	cat := storage.NewCatalog()
+	if err := d.Load(cat, 2); err != nil {
+		t.Fatal(err)
+	}
+	return cat, d
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 0.001, Seed: 7})
+	b := Generate(Config{SF: 0.001, Seed: 7})
+	for _, name := range TableNames() {
+		if a.Rows(name) != b.Rows(name) {
+			t.Fatalf("%s: %d vs %d rows", name, a.Rows(name), b.Rows(name))
+		}
+	}
+	// A different seed changes lineitem contents.
+	c := Generate(Config{SF: 0.001, Seed: 8})
+	same := true
+	av := a.Batches["lineitem"].Cols[4].Ints
+	cv := c.Batches["lineitem"].Cols[4].Ints
+	for i := 0; i < min(len(av), len(cv)); i++ {
+		if av[i] != cv[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	small := Generate(Config{SF: 0.001, Seed: 1})
+	big := Generate(Config{SF: 0.004, Seed: 1})
+	if big.Rows("orders") <= small.Rows("orders") {
+		t.Fatal("orders does not scale")
+	}
+	if big.Rows("lineitem") <= big.Rows("orders") {
+		t.Fatal("lineitem should exceed orders")
+	}
+	if small.Rows("region") != 5 || small.Rows("nation") != 25 {
+		t.Fatal("fixed tables wrong")
+	}
+	if small.Rows("partsupp") != 4*small.Rows("part") {
+		t.Fatal("partsupp != 4x part")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := Generate(Config{SF: 0.002, Seed: 3})
+	nOrd := d.Rows("orders")
+	nPart := d.Rows("part")
+	nSupp := d.Rows("supplier")
+	nCust := d.Rows("customer")
+	lb := d.Batches["lineitem"]
+	for i := 0; i < lb.N; i++ {
+		if k := lb.Cols[0].Ints[i]; k < 1 || k > int64(nOrd) {
+			t.Fatalf("l_orderkey %d out of range", k)
+		}
+		if k := lb.Cols[1].Ints[i]; k < 1 || k > int64(nPart) {
+			t.Fatalf("l_partkey %d out of range", k)
+		}
+		if k := lb.Cols[2].Ints[i]; k < 1 || k > int64(nSupp) {
+			t.Fatalf("l_suppkey %d out of range", k)
+		}
+		if lb.Cols[10].Ints[i] >= lb.Cols[12].Ints[i] {
+			t.Fatal("receiptdate not after shipdate")
+		}
+		if q := lb.Cols[4].Ints[i]; q < 1 || q > 50 {
+			t.Fatalf("quantity %d", q)
+		}
+		if disc := lb.Cols[6].Floats[i]; disc < 0 || disc > 0.10 {
+			t.Fatalf("discount %f", disc)
+		}
+	}
+	ob := d.Batches["orders"]
+	for i := 0; i < ob.N; i++ {
+		if k := ob.Cols[1].Ints[i]; k < 1 || k > int64(nCust) {
+			t.Fatalf("o_custkey %d out of range", k)
+		}
+	}
+}
+
+func TestSkewConcentratesValues(t *testing.T) {
+	uni := Generate(Config{SF: 0.002, Seed: 5, Skewed: false})
+	skw := Generate(Config{SF: 0.002, Seed: 5, Skewed: true})
+	topShare := func(d *Data) float64 {
+		counts := map[int64]int{}
+		vals := d.Batches["lineitem"].Cols[1].Ints // l_partkey
+		for _, v := range vals {
+			counts[v]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(len(vals))
+	}
+	if topShare(skw) < 4*topShare(uni) {
+		t.Fatalf("skew too weak: top part share %.4f vs uniform %.4f", topShare(skw), topShare(uni))
+	}
+	// Skewed orders arrive in date order.
+	dates := skw.Batches["orders"].Cols[4].Ints
+	for i := 1; i < len(dates); i++ {
+		if dates[i] < dates[i-1] {
+			t.Fatal("skewed orders not date-ordered")
+		}
+	}
+}
+
+func TestAll22QueriesExecute(t *testing.T) {
+	cat, _ := loadTest(t, false)
+	qs := Queries(DefaultParams())
+	if len(qs) != 22 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("Q%d plan: %v", q.ID, err)
+		}
+		ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}}
+		rel, err := plan.Execute(ec)
+		if err != nil {
+			t.Fatalf("Q%d exec: %v", q.ID, err)
+		}
+		if rel == nil {
+			t.Fatalf("Q%d nil result", q.ID)
+		}
+		if q.Text() == "" {
+			t.Fatalf("Q%d empty text", q.ID)
+		}
+	}
+}
+
+func TestQueriesRepeatableAndCacheable(t *testing.T) {
+	cat, _ := loadTest(t, true)
+	cache := core.NewCache(core.DefaultConfig())
+	qs := Queries(DefaultParams())
+	for _, q := range qs {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		run := func() (*engine.Relation, *storage.ScanStats) {
+			st := &storage.ScanStats{}
+			ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: st, Cache: cache}
+			rel, err := plan.Execute(ec)
+			if err != nil {
+				t.Fatalf("Q%d: %v", q.ID, err)
+			}
+			return rel, st
+		}
+		r1, _ := run()
+		r2, s2 := run()
+		if r1.NumRows() != r2.NumRows() {
+			t.Fatalf("Q%d: cached run changed row count %d -> %d", q.ID, r1.NumRows(), r2.NumRows())
+		}
+		// Spot-check first-cell stability.
+		if r1.NumRows() > 0 && r1.NumCols() > 0 {
+			if r1.StringValue(0, 0) != r2.StringValue(0, 0) {
+				t.Fatalf("Q%d: first cell changed", q.ID)
+			}
+		}
+		if s2.CacheHits.Load() == 0 && s2.CacheMisses.Load() > 0 {
+			t.Fatalf("Q%d: repeated run missed the cache entirely", q.ID)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("no hits across suite: %+v", st)
+	}
+}
+
+func TestQ6MatchesReference(t *testing.T) {
+	cat, d := loadTest(t, false)
+	p := DefaultParams()
+	q := Queries(p)[5]
+	if q.ID != 6 {
+		t.Fatal("query order")
+	}
+	plan, err := q.Plan(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot()}
+	rel, err := plan.Execute(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := storage.ParseDate(p.Q6Date)
+	hi := storage.DateFromYMD(1997, 1, 1)
+	var want float64
+	lb := d.Batches["lineitem"]
+	for i := 0; i < lb.N; i++ {
+		ship := lb.Cols[10].Ints[i]
+		disc := lb.Cols[6].Floats[i]
+		qty := lb.Cols[4].Ints[i]
+		if ship >= lo && ship < hi && disc >= p.Q6Discount-0.011 && disc <= p.Q6Discount+0.011 && qty < int64(p.Q6Quantity) {
+			// between is inclusive with float equality; generator uses exact
+			// hundredths so direct comparison works:
+			if disc >= p.Q6Discount-0.01-1e-9 && disc <= p.Q6Discount+0.01+1e-9 {
+				want += lb.Cols[5].Floats[i] * disc
+			}
+		}
+	}
+	got := rel.Col(0).Floats[0]
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("Q6 revenue %f want %f", got, want)
+	}
+}
+
+func TestQ13IncludesZeroCountCustomers(t *testing.T) {
+	cat, d := loadTest(t, false)
+	plan, err := buildQ13(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot()}
+	rel, err := plan.Execute(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total customers across the distribution must equal the customer count.
+	total := int64(0)
+	cd := rel.ColByName("custdist")
+	for i := 0; i < rel.NumRows(); i++ {
+		total += cd.Ints[i]
+	}
+	if total != int64(d.Rows("customer")) {
+		t.Fatalf("distribution covers %d customers, want %d", total, d.Rows("customer"))
+	}
+	// Reference: count customers with zero orders.
+	withOrders := map[int64]bool{}
+	ob := d.Batches["orders"]
+	for i := 0; i < ob.N; i++ {
+		withOrders[ob.Cols[1].Ints[i]] = true
+	}
+	zeros := int64(d.Rows("customer") - len(withOrders))
+	cc := rel.ColByName("c_count")
+	var gotZeros int64
+	for i := 0; i < rel.NumRows(); i++ {
+		if cc.Ints[i] == 0 {
+			gotZeros = cd.Ints[i]
+		}
+	}
+	if zeros > 0 && gotZeros != zeros {
+		t.Fatalf("zero-order customers %d want %d", gotZeros, zeros)
+	}
+}
+
+func TestParamRandomization(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var p1, p2 Params
+	p1.Randomize(r)
+	p2.Randomize(r)
+	if p1 == p2 {
+		t.Fatal("randomize produced identical params")
+	}
+	// Randomized queries must still plan and execute.
+	cat, _ := loadTest(t, false)
+	for _, q := range Queries(p1) {
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		ec := &engine.ExecCtx{Catalog: cat, Snapshot: cat.Snapshot()}
+		if _, err := plan.Execute(ec); err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

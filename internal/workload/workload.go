@@ -1,0 +1,251 @@
+// Package workload reproduces the paper's two internal customer workloads
+// (§5.3): Workload A, a 44,000-query stream whose predicate-cache hit rate
+// climbs after the first ~15,000 queries as the cache warms (Figure 13),
+// and Workload B, a ~4,000-scan stream with 401 distinct scans of which 218
+// repeat (Figure 14).
+//
+// Substitution note (DESIGN.md §1): the original workloads replay Redshift
+// customer query streams; these generators reproduce their published
+// repetition structure against a synthetic events table, which is the only
+// property the two figures measure.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	predcache "github.com/predcache/predcache"
+)
+
+// SetupDB creates a database with one "events" table of the given size.
+func SetupDB(rows int, seed int64, opts ...predcache.Option) (*predcache.DB, error) {
+	db := predcache.Open(opts...)
+	schema := predcache.Schema{
+		{Name: "id", Type: predcache.Int64},
+		{Name: "region", Type: predcache.String},
+		{Name: "day", Type: predcache.Date},
+		{Name: "qty", Type: predcache.Int64},
+		{Name: "amount", Type: predcache.Float64},
+	}
+	if err := db.CreateTable("events", schema); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := predcache.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		b.Cols[0].Ints = append(b.Cols[0].Ints, int64(i))
+		b.Cols[1].Strings = append(b.Cols[1].Strings, fmt.Sprintf("R%02d", r.Intn(20)))
+		b.Cols[2].Ints = append(b.Cols[2].Ints, int64(9000+r.Intn(365)))
+		b.Cols[3].Ints = append(b.Cols[3].Ints, int64(r.Intn(100)))
+		b.Cols[4].Floats = append(b.Cols[4].Floats, float64(r.Intn(10000))/100)
+	}
+	b.N = rows
+	if err := db.Insert("events", b); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// scanSQL renders the SQL text of scan instance `id`. The mixed-radix
+// decomposition makes distinct ids yield distinct predicates (injective up
+// to 20*330*30*90 = 17.8M instances); identical ids repeat exactly.
+func scanSQL(id int) string {
+	region := id % 20
+	rem := id / 20
+	lo := 9000 + rem%330
+	rem /= 330
+	hi := lo + 3 + rem%30
+	rem /= 30
+	qty := rem % 90
+	return fmt.Sprintf(
+		"select count(*) as n, sum(amount) as total from events where region = 'R%02d' and day between %d and %d and qty >= %d",
+		region, lo, hi, qty)
+}
+
+// --- Workload A ---
+
+// AConfig shapes the Workload A stream.
+type AConfig struct {
+	TotalQueries  int // paper: 44,000
+	WarmupQueries int // paper: hit rate rises after ~15,000
+	Seed          int64
+}
+
+// DefaultAConfig matches the paper's workload size.
+func DefaultAConfig() AConfig {
+	return AConfig{TotalQueries: 44000, WarmupQueries: 15000, Seed: 13}
+}
+
+// GenerateA returns the query stream: during warmup most queries are fresh
+// instances (the cache keeps missing); afterwards the working set is
+// established and reuse dominates.
+func GenerateA(cfg AConfig) []string {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var pool []int
+	nextID := 0
+	out := make([]string, 0, cfg.TotalQueries)
+	for i := 0; i < cfg.TotalQueries; i++ {
+		reuse := 0.25
+		if i >= cfg.WarmupQueries {
+			reuse = 0.92
+		}
+		var id int
+		if len(pool) > 0 && r.Float64() < reuse {
+			// Zipf-ish preference for popular instances.
+			idx := int(float64(len(pool)) * r.Float64() * r.Float64())
+			id = pool[idx]
+		} else {
+			id = nextID
+			nextID++
+			pool = append(pool, id)
+		}
+		out = append(out, scanSQL(id))
+	}
+	return out
+}
+
+// Bucket is one measurement window of a replayed stream.
+type Bucket struct {
+	StartQuery int
+	HitRate    float64
+}
+
+// Replay executes the stream and reports the predicate-cache hit rate per
+// bucketSize queries — Figure 13's series.
+func Replay(db *predcache.DB, queries []string, bucketSize int) ([]Bucket, error) {
+	var out []Bucket
+	prev := db.CacheStats()
+	for start := 0; start < len(queries); start += bucketSize {
+		end := start + bucketSize
+		if end > len(queries) {
+			end = len(queries)
+		}
+		for _, q := range queries[start:end] {
+			if _, err := db.Query(q); err != nil {
+				return nil, err
+			}
+		}
+		cur := db.CacheStats()
+		dHits := cur.Hits - prev.Hits
+		dMisses := cur.Misses - prev.Misses
+		rate := 0.0
+		if dHits+dMisses > 0 {
+			rate = float64(dHits) / float64(dHits+dMisses)
+		}
+		out = append(out, Bucket{StartQuery: start, HitRate: rate})
+		prev = cur
+	}
+	return out, nil
+}
+
+// --- Workload B ---
+
+// BStream is the Workload B scan multiset.
+type BStream struct {
+	Scans  []string
+	counts map[string]int
+}
+
+// GenerateB constructs the stream with the paper's published shape:
+// 401 distinct scans — 183 singletons, 218 repeating — totalling roughly
+// 4,000 scans, of which those repeating >= 10 times account for ~3,243.
+func GenerateB(seed int64) *BStream {
+	var ids []int
+	id := 0
+	addCopies := func(n int) {
+		for c := 0; c < n; c++ {
+			ids = append(ids, id)
+		}
+		id++
+	}
+	// 183 singletons.
+	for i := 0; i < 183; i++ {
+		addCopies(1)
+	}
+	// 120 scans repeating 2-5 times (deterministic cycle).
+	for i := 0; i < 120; i++ {
+		addCopies(2 + i%4)
+	}
+	// 30 scans repeating 6-9 times.
+	for i := 0; i < 30; i++ {
+		addCopies(6 + i%4)
+	}
+	// 68 heavy hitters summing to ~3,243 occurrences: a truncated power
+	// law with a fixed tail.
+	heavy := make([]int, 68)
+	remaining := 3243
+	for i := range heavy {
+		c := 10 + (68-i)*(68-i)/55
+		heavy[i] = c
+		remaining -= c
+	}
+	// Distribute the remainder over the largest hitters.
+	for i := 0; remaining != 0; i = (i + 1) % 8 {
+		if remaining > 0 {
+			heavy[i]++
+			remaining--
+		} else {
+			if heavy[i] > 10 {
+				heavy[i]--
+				remaining++
+			}
+		}
+	}
+	for _, c := range heavy {
+		addCopies(c)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(ids), func(a, b int) { ids[a], ids[b] = ids[b], ids[a] })
+
+	s := &BStream{counts: make(map[string]int)}
+	for _, id := range ids {
+		q := scanSQL(id)
+		s.Scans = append(s.Scans, q)
+		s.counts[q]++
+	}
+	return s
+}
+
+// Stats summarizes the stream the way Figure 14 does.
+type BStats struct {
+	TotalScans    int
+	DistinctScans int
+	Singletons    int
+	Repeating     int
+	// Histogram buckets: repetition count class -> (distinct scans, total
+	// scans), for the figure's left plot / right table.
+	Distinct map[string]int
+	Totals   map[string]int
+}
+
+// Stats computes the repetition histogram.
+func (s *BStream) Stats() BStats {
+	st := BStats{
+		TotalScans:    len(s.Scans),
+		DistinctScans: len(s.counts),
+		Distinct:      make(map[string]int),
+		Totals:        make(map[string]int),
+	}
+	bucket := func(c int) string {
+		switch {
+		case c == 1:
+			return "1"
+		case c < 10:
+			return "2-9"
+		case c < 100:
+			return "10-99"
+		default:
+			return "100+"
+		}
+	}
+	for _, c := range s.counts {
+		if c == 1 {
+			st.Singletons++
+		} else {
+			st.Repeating++
+		}
+		st.Distinct[bucket(c)]++
+		st.Totals[bucket(c)] += c
+	}
+	return st
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	predcache "github.com/predcache/predcache"
+)
+
+func TestSetupDB(t *testing.T) {
+	db, err := SetupDB(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.TableRows("events") != 5000 {
+		t.Fatal("rows")
+	}
+	res, err := db.Query("select count(*) from events where region = 'R01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Col(0).Ints[0] == 0 {
+		t.Fatal("no R01 rows")
+	}
+}
+
+func TestScanSQLStable(t *testing.T) {
+	if scanSQL(7) != scanSQL(7) {
+		t.Fatal("same id differs")
+	}
+	if scanSQL(7) == scanSQL(8) {
+		t.Fatal("distinct ids collide")
+	}
+}
+
+func TestWorkloadAWarmsUp(t *testing.T) {
+	db, err := SetupDB(20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AConfig{TotalQueries: 3000, WarmupQueries: 1500, Seed: 3}
+	stream := GenerateA(cfg)
+	if len(stream) != 3000 {
+		t.Fatal("stream size")
+	}
+	buckets, err := Replay(db, stream, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 6 {
+		t.Fatalf("%d buckets", len(buckets))
+	}
+	// Figure 13's shape: the post-warmup hit rate clearly exceeds the
+	// early hit rate.
+	early := buckets[0].HitRate
+	late := buckets[len(buckets)-1].HitRate
+	if late < early+0.2 {
+		t.Fatalf("no warmup effect: early %.3f late %.3f", early, late)
+	}
+	if late < 0.6 {
+		t.Fatalf("late hit rate %.3f too low", late)
+	}
+}
+
+func TestWorkloadAResultsCorrect(t *testing.T) {
+	// Cached and uncached replays must agree query by query.
+	dbCached, err := SetupDB(10000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbCold, err := SetupDB(10000, 4, predcache.WithoutPredicateCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := GenerateA(AConfig{TotalQueries: 300, WarmupQueries: 100, Seed: 5})
+	for i, q := range stream {
+		a, err := dbCached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dbCold.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Col(0).Ints[0] != b.Col(0).Ints[0] {
+			t.Fatalf("query %d: cached %d vs cold %d rows", i, a.Col(0).Ints[0], b.Col(0).Ints[0])
+		}
+	}
+}
+
+func TestWorkloadBShape(t *testing.T) {
+	s := GenerateB(6)
+	st := s.Stats()
+	if st.DistinctScans != 401 {
+		t.Fatalf("distinct %d want 401", st.DistinctScans)
+	}
+	if st.Singletons != 183 || st.Repeating != 218 {
+		t.Fatalf("singletons %d repeating %d", st.Singletons, st.Repeating)
+	}
+	if st.TotalScans < 3900 || st.TotalScans > 4150 {
+		t.Fatalf("total %d not ~4000", st.TotalScans)
+	}
+	heavy := st.Totals["10-99"] + st.Totals["100+"]
+	if heavy < 3100 || heavy > 3400 {
+		t.Fatalf("scans repeating >=10 times account for %d, want ~3243", heavy)
+	}
+	// >90% of scans repeat (paper: "more than 90% of the scans repeat").
+	repeatShare := float64(st.TotalScans-st.Singletons) / float64(st.TotalScans)
+	if repeatShare < 0.9 {
+		t.Fatalf("repeat share %.3f", repeatShare)
+	}
+}
+
+func TestWorkloadBReplayHitRate(t *testing.T) {
+	db, err := SetupDB(10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := GenerateB(8)
+	if _, err := Replay(db, s.Scans, len(s.Scans)); err != nil {
+		t.Fatal(err)
+	}
+	st := db.CacheStats()
+	rate := float64(st.Hits) / float64(st.Hits+st.Misses)
+	// Paper: hit rates up to 90% on customer workloads.
+	if rate < 0.85 {
+		t.Fatalf("hit rate %.3f too low", rate)
+	}
+}

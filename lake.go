@@ -1,0 +1,39 @@
+package predcache
+
+import (
+	"github.com/predcache/predcache/internal/lake"
+	"github.com/predcache/predcache/internal/sql"
+)
+
+// Lake-table API (§4.5 of the paper): predicate caching over an
+// Iceberg/Delta-style table the engine does not own. Writers commit whole
+// immutable data files; the cache indexes which files — and which row
+// ranges within them — qualify for each predicate. File additions extend
+// entries, file removals need no invalidation at all.
+type (
+	// LakeTable is an open-format table: immutable data files + manifest.
+	LakeTable = lake.Table
+	// LakeCache is a predicate cache over lake tables.
+	LakeCache = lake.Cache
+	// LakeMatch identifies one qualifying row (file id, row offset).
+	LakeMatch = lake.Match
+	// LakeScanStats reports the work one lake scan performed.
+	LakeScanStats = lake.ScanStats
+)
+
+// NewLakeTable creates an empty lake table.
+func NewLakeTable(name string, schema Schema) *LakeTable { return lake.NewTable(name, schema) }
+
+// NewLakeCache creates a lake predicate cache; maxRanges bounds the
+// per-file qualifying-range lists.
+func NewLakeCache(maxRanges int) *LakeCache { return lake.NewCache(maxRanges) }
+
+// LakeScan evaluates a filter condition (WHERE-clause syntax) over a lake
+// table, using cache (nil = cold) to skip non-qualifying files and rows.
+func LakeScan(t *LakeTable, where string, cache *LakeCache) ([]LakeMatch, LakeScanStats, error) {
+	pred, err := sql.ParsePredicate(where)
+	if err != nil {
+		return nil, LakeScanStats{}, err
+	}
+	return lake.Scan(t, pred, cache)
+}

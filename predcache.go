@@ -1,0 +1,410 @@
+// Package predcache is a single-node analytical database engine with
+// predicate caching: a query-driven secondary index that remembers, per scan
+// expression, which row ranges qualified — so repeating scans touch only the
+// data that mattered last time (Schmidt et al., "Predicate Caching:
+// Query-Driven Secondary Indexing for Cloud Data Warehouses", SIGMOD 2024).
+//
+// The engine stores tables in compressed columnar blocks with zone maps,
+// executes SQL with vectorized scans, hash joins with semi-join-filter
+// pushdown, and hash aggregation, and keeps the predicate cache online
+// across inserts, deletes and updates.
+//
+// Quick start:
+//
+//	db := predcache.Open()
+//	db.CreateTable("t", predcache.Schema{{Name: "x", Type: predcache.Int64}})
+//	// load data with db.Insert, then:
+//	res, err := db.Query("select count(*) from t where x > 42")
+package predcache
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/sql"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Re-exported storage types: the public surface of table definitions.
+type (
+	// Schema describes a table's columns.
+	Schema = storage.Schema
+	// ColumnDef is one column definition.
+	ColumnDef = storage.ColumnDef
+	// ColumnType enumerates column types.
+	ColumnType = storage.ColumnType
+	// Batch is a columnar batch of rows for loading.
+	Batch = storage.Batch
+	// Result is a materialized query result.
+	Result = engine.Relation
+	// CacheConfig configures the predicate cache.
+	CacheConfig = core.Config
+	// CacheStats reports predicate-cache counters.
+	CacheStats = core.Stats
+	// QueryStats reports per-query scan counters.
+	QueryStats = storage.ScanStatsSnapshot
+	// Pred is a filter predicate (for DeleteWhere / UpdateWhere).
+	Pred = expr.Pred
+)
+
+// Column type constants.
+const (
+	Int64   = storage.Int64
+	Float64 = storage.Float64
+	Date    = storage.Date
+	String  = storage.String
+	Bool    = storage.Bool
+)
+
+// Predicate-cache entry kinds.
+const (
+	RangeIndex  = core.RangeIndex
+	BitmapIndex = core.BitmapIndex
+)
+
+// NewBatch allocates an empty batch shaped like schema.
+func NewBatch(schema Schema) *Batch { return storage.NewBatch(schema) }
+
+// DB is an embedded analytical database with a predicate cache.
+type DB struct {
+	mu       sync.Mutex
+	cat      *storage.Catalog
+	cache    *core.Cache
+	slices   int
+	parallel bool
+	last     storage.ScanStatsSnapshot
+}
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithCacheConfig selects the predicate-cache configuration (entry kind,
+// ranges per entry, bitmap granularity, memory budget).
+func WithCacheConfig(cfg CacheConfig) Option {
+	return func(db *DB) { db.cache = core.NewCache(cfg) }
+}
+
+// WithoutPredicateCache disables the predicate cache entirely.
+func WithoutPredicateCache() Option {
+	return func(db *DB) { db.cache = nil }
+}
+
+// WithSlices sets the number of data slices per table (default 4).
+func WithSlices(n int) Option {
+	return func(db *DB) { db.slices = n }
+}
+
+// WithParallelScans toggles per-slice scan goroutines (default on).
+func WithParallelScans(v bool) Option {
+	return func(db *DB) { db.parallel = v }
+}
+
+// Open creates an empty in-memory database.
+func Open(opts ...Option) *DB {
+	db := &DB{
+		cat:      storage.NewCatalog(),
+		cache:    core.NewCache(core.DefaultConfig()),
+		slices:   4,
+		parallel: true,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Catalog exposes the underlying catalog (used by the benchmark harness and
+// workload generators inside this module).
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// PredicateCache exposes the cache for stats and configuration; nil when
+// disabled.
+func (db *DB) PredicateCache() *core.Cache { return db.cache }
+
+// CreateTable registers a new table. sortKey columns (optional) define the
+// physical sort order maintained by Vacuum.
+func (db *DB) CreateTable(name string, schema Schema, sortKey ...string) error {
+	_, err := db.cat.CreateTable(name, schema, db.slices, sortKey...)
+	return err
+}
+
+// Insert appends a batch of rows.
+func (db *DB) Insert(table string, batch *Batch) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("predcache: unknown table %s", table)
+	}
+	return tbl.Append(batch, db.cat.NextXID())
+}
+
+// Load sorts the batch by the table's sort key (if any) and appends it; the
+// table must be empty. Use for initial bulk loads.
+func (db *DB) Load(table string, batch *Batch) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("predcache: unknown table %s", table)
+	}
+	return tbl.SortedLoad(batch, db.cat.NextXID())
+}
+
+// DeleteWhere marks all rows matching pred as deleted (out-of-place MVCC
+// delete; row numbers do not change, so predicate-cache entries stay valid).
+// It returns the number of deleted rows.
+func (db *DB) DeleteWhere(table string, pred Pred) (int, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("predcache: unknown table %s", table)
+	}
+	rows, err := db.matchRows(tbl, pred)
+	if err != nil {
+		return 0, err
+	}
+	xid := db.cat.NextXID()
+	total := 0
+	for slice, rs := range rows {
+		if len(rs) > 0 {
+			tbl.DeleteRows(slice, rs, xid)
+			total += len(rs)
+		}
+	}
+	if total == 0 {
+		tbl.BumpVersion() // the statement still invalidates result caches
+	}
+	return total, nil
+}
+
+// UpdateWhere implements out-of-place updates (§4.3.3): matching rows are
+// deleted and re-inserted with apply() mutating a columnar copy. Returns the
+// number of updated rows.
+func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, error) {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("predcache: unknown table %s", table)
+	}
+	rows, err := db.matchRows(tbl, pred)
+	if err != nil {
+		return 0, err
+	}
+	// Materialize the matching rows columnar.
+	schema := tbl.Schema()
+	nb := storage.NewBatch(schema)
+	unlock := tbl.RLockScan()
+	iScratch := make([]int64, storage.BlockSize)
+	fScratch := make([]float64, storage.BlockSize)
+	for slice, rs := range rows {
+		s := tbl.Slice(slice)
+		for _, row := range rs {
+			for ci, def := range schema {
+				col := s.Column(ci)
+				switch def.Type {
+				case storage.Float64:
+					nb.Cols[ci].Floats = append(nb.Cols[ci].Floats, col.FloatAt(row, fScratch))
+				case storage.String:
+					nb.Cols[ci].Strings = append(nb.Cols[ci].Strings, tbl.Dict(ci).Value(col.IntAt(row, iScratch)))
+				default:
+					nb.Cols[ci].Ints = append(nb.Cols[ci].Ints, col.IntAt(row, iScratch))
+				}
+			}
+			nb.N++
+		}
+	}
+	unlock()
+	if nb.N == 0 {
+		tbl.BumpVersion()
+		return 0, nil
+	}
+	apply(nb)
+	xid := db.cat.NextXID()
+	for slice, rs := range rows {
+		if len(rs) > 0 {
+			tbl.DeleteRows(slice, rs, xid)
+		}
+	}
+	if err := tbl.Append(nb, xid); err != nil {
+		return 0, err
+	}
+	return nb.N, nil
+}
+
+// matchRows evaluates pred per slice and returns visible matching row
+// numbers.
+func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, error) {
+	if pred == nil {
+		pred = expr.TruePred{}
+	}
+	snapshot := db.cat.Snapshot()
+	unlock := tbl.RLockScan()
+	defer unlock()
+	bound, err := expr.Bind(pred, tbl)
+	if err != nil {
+		return nil, err
+	}
+	numCols := len(tbl.Schema())
+	dicts := make([]*storage.Dict, numCols)
+	for i := range dicts {
+		dicts[i] = tbl.Dict(i)
+	}
+	out := make([][]int, tbl.NumSlices())
+	needCols := map[int]bool{}
+	for _, name := range pred.Columns(nil) {
+		needCols[tbl.ColumnIndex(name)] = true
+	}
+	for si := 0; si < tbl.NumSlices(); si++ {
+		s := tbl.Slice(si)
+		ctx := expr.NewBlockCtx(numCols, dicts)
+		ints := make(map[int][]int64)
+		floats := make(map[int][]float64)
+		sel := make([]int, storage.BlockSize)
+		for blk := 0; blk*storage.BlockSize < s.NumRows(); blk++ {
+			base := blk * storage.BlockSize
+			n := s.NumRows() - base
+			if n > storage.BlockSize {
+				n = storage.BlockSize
+			}
+			ctx.N = n
+			for ci := range needCols {
+				if tbl.ColumnType(ci) == storage.Float64 {
+					if floats[ci] == nil {
+						floats[ci] = make([]float64, storage.BlockSize)
+					}
+					s.Column(ci).ReadFloatBlock(blk, floats[ci])
+					ctx.SetFloat(ci, floats[ci])
+				} else {
+					if ints[ci] == nil {
+						ints[ci] = make([]int64, storage.BlockSize)
+					}
+					s.Column(ci).ReadIntBlock(blk, ints[ci])
+					ctx.SetInt(ci, ints[ci])
+				}
+			}
+			sel = sel[:n]
+			for i := 0; i < n; i++ {
+				sel[i] = i
+			}
+			matched := bound.Eval(ctx, sel)
+			for _, r := range matched {
+				row := base + r
+				if s.Visible(row, snapshot) {
+					out[si] = append(out[si], row)
+				}
+			}
+			sel = sel[:cap(sel)]
+		}
+	}
+	return out, nil
+}
+
+// Vacuum reclaims deleted rows and re-sorts the table; this changes physical
+// row numbers and therefore invalidates the table's predicate-cache entries.
+func (db *DB) Vacuum(table string) error {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("predcache: unknown table %s", table)
+	}
+	tbl.Vacuum(db.cat.Snapshot())
+	return nil
+}
+
+// Query parses, plans and executes a SELECT statement.
+func (db *DB) Query(query string) (*Result, error) {
+	node, err := sql.PlanSQL(query, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(node)
+}
+
+// Run executes a prepared plan.
+func (db *DB) Run(node engine.Node) (*Result, error) {
+	stats := &storage.ScanStats{}
+	ec := &engine.ExecCtx{
+		Catalog:  db.cat,
+		Cache:    db.cache,
+		Snapshot: db.cat.Snapshot(),
+		Stats:    stats,
+		Parallel: db.parallel,
+	}
+	rel, err := node.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.last = stats.Snapshot()
+	db.mu.Unlock()
+	return rel, nil
+}
+
+// RunCtx executes a plan with a caller-provided execution context (the
+// benchmark harness uses this for ablation switches).
+func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
+	if ec.Catalog == nil {
+		ec.Catalog = db.cat
+	}
+	if ec.Snapshot == 0 {
+		ec.Snapshot = db.cat.Snapshot()
+	}
+	if ec.Stats == nil {
+		ec.Stats = &storage.ScanStats{}
+	}
+	rel, err := node.Execute(ec)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.last = ec.Stats.Snapshot()
+	db.mu.Unlock()
+	return rel, nil
+}
+
+// Plan parses and plans a SELECT without executing it.
+func (db *DB) Plan(query string) (engine.Node, error) {
+	return sql.PlanSQL(query, db.cat)
+}
+
+// LastQueryStats returns the scan counters of the most recent Query/Run.
+func (db *DB) LastQueryStats() QueryStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.last
+}
+
+// CacheStats returns predicate-cache counters (zero value when disabled).
+func (db *DB) CacheStats() CacheStats {
+	if db.cache == nil {
+		return CacheStats{}
+	}
+	return db.cache.Stats()
+}
+
+// TableRows returns a table's physical row count.
+func (db *DB) TableRows(table string) int {
+	tbl, ok := db.cat.Table(table)
+	if !ok {
+		return 0
+	}
+	return tbl.NumRows()
+}
+
+// ParseWhere parses a standalone filter condition (the text that would
+// follow WHERE) into a predicate usable with DeleteWhere and UpdateWhere.
+func ParseWhere(cond string) (Pred, error) { return sql.ParsePredicate(cond) }
+
+// Explain renders the plan for a query as indented text.
+func (db *DB) Explain(query string) (string, error) {
+	node, err := sql.PlanSQL(query, db.cat)
+	if err != nil {
+		return "", err
+	}
+	return engine.Explain(node), nil
+}
+
+// CacheEntries lists the predicate-cache entries, most recently used first.
+func (db *DB) CacheEntries() []core.EntrySummary {
+	if db.cache == nil {
+		return nil
+	}
+	return db.cache.Entries()
+}
