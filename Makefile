@@ -1,0 +1,41 @@
+# predcache build and verification targets. All of them use only the Go
+# toolchain: the module has zero external dependencies, including its own
+# static-analysis suite (cmd/pclint).
+
+GO ?= go
+
+.PHONY: all build test race test-debug vet lint check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Unit tests (tier-1 verification).
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector; includes the concurrency stress tests.
+race:
+	$(GO) test -race ./...
+
+# Tests with the pcdebug build tag: runtime invariant assertions (row-range
+# shape, zone-map bounds, MVCC monotonicity) are compiled in and panic on
+# violation.
+test-debug:
+	$(GO) test -tags pcdebug ./...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific static analysis: lock discipline, error wrapping, recycled
+# buffer aliasing, goroutine lifecycle. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/pclint ./...
+	$(GO) run ./cmd/pclint -tags pcdebug ./...
+
+# Everything CI runs.
+check: build vet lint test race test-debug
+
+clean:
+	$(GO) clean ./...

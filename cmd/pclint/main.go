@@ -1,0 +1,142 @@
+// Command pclint runs the project's static-analysis suite (internal/lint)
+// over the module: lockcheck, errwrap, bufalias and goroutinectx. It is
+// built exclusively on the standard library.
+//
+// Usage:
+//
+//	go run ./cmd/pclint ./...          # whole module
+//	go run ./cmd/pclint ./internal/core
+//	go run ./cmd/pclint -analyzers=errwrap -tests ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on load or
+// type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/predcache/predcache/internal/lint"
+)
+
+func main() {
+	var (
+		analyzerList = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		includeTests = flag.Bool("tests", false, "also lint _test.go files (same-package tests)")
+		tags         = flag.String("tags", "", "comma-separated extra build tags (e.g. pcdebug)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *includeTests
+	if *tags != "" {
+		loader.BuildTags = strings.Split(*tags, ",")
+	}
+
+	pkgs, err := loadPatterns(loader, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		os.Exit(2)
+	}
+
+	analyzers, err := selectAnalyzers(*analyzerList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pclint:", err)
+		os.Exit(2)
+	}
+
+	prog := lint.NewProgram(loader.Fset(), pkgs)
+	findings := prog.Run(analyzers)
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(loader.ModuleRoot, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "pclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// loadPatterns resolves command-line package patterns: "./..." loads the
+// whole module; other arguments are directories relative to the working
+// directory.
+func loadPatterns(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	var pkgs []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				if !seen[p.PkgPath] {
+					seen[p.PkgPath] = true
+					pkgs = append(pkgs, p)
+				}
+			}
+		default:
+			dir, err := filepath.Abs(strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasSuffix(pat, "/...") {
+				all, err := loader.LoadAll()
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range all {
+					if (p.Dir == dir || strings.HasPrefix(p.Dir, dir+string(filepath.Separator))) && !seen[p.PkgPath] {
+						seen[p.PkgPath] = true
+						pkgs = append(pkgs, p)
+					}
+				}
+				continue
+			}
+			p, err := loader.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			if p != nil && !seen[p.PkgPath] {
+				seen[p.PkgPath] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+func selectAnalyzers(list string) ([]lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if list == "" {
+		return all, nil
+	}
+	byName := make(map[string]lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name()] = a
+	}
+	var out []lint.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: lockcheck, errwrap, bufalias, goroutinectx)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

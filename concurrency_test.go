@@ -103,3 +103,148 @@ func TestConcurrentQueriesAndDML(t *testing.T) {
 		t.Fatal("all rows vanished")
 	}
 }
+
+// TestRaceStressParallelScans drives the full concurrent surface at once with
+// parallel per-slice scans enabled: distinct predicates churn cache inserts, a
+// tiny memory budget forces evictions, appends advance watermarks (Extend),
+// deletes and vacuums invalidate layouts, and introspection walks the LRU —
+// all while per-slice scan goroutines read the slices. Run with -race; the
+// workload is sized to stay well under 30s even with the race detector's
+// slowdown.
+func TestRaceStressParallelScans(t *testing.T) {
+	db := predcache.Open(
+		predcache.WithSlices(4),
+		predcache.WithParallelScans(true),
+		predcache.WithCacheConfig(predcache.CacheConfig{
+			Kind:      predcache.RangeIndex,
+			MaxRanges: 128,
+			MemBudget: 16 << 10, // a few entries at most: constant evictions
+		}),
+	)
+	schema := predcache.Schema{
+		{Name: "id", Type: predcache.Int64},
+		{Name: "grp", Type: predcache.String},
+		{Name: "val", Type: predcache.Float64},
+		{Name: "day", Type: predcache.Date},
+	}
+	if err := db.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	seed := predcache.NewBatch(schema)
+	const rows = 12000
+	for i := 0; i < rows; i++ {
+		seed.Cols[0].Ints = append(seed.Cols[0].Ints, int64(i))
+		seed.Cols[1].Strings = append(seed.Cols[1].Strings, []string{"a", "b", "c"}[i%3])
+		seed.Cols[2].Floats = append(seed.Cols[2].Floats, float64(i%100))
+		seed.Cols[3].Ints = append(seed.Cols[3].Ints, int64(20000+i%365))
+	}
+	seed.N = rows
+	if err := db.Insert("t", seed); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+
+	// Scanners: every iteration uses a different predicate, so each one is a
+	// cache miss + insert, and the small budget evicts the tail immediately.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := fmt.Sprintf("select count(*) from t where val >= %d", (w*40+i)%100)
+				if _, err := db.Query(q); err != nil {
+					errCh <- fmt.Errorf("scanner %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Repeater: hammers one fixed predicate so appends exercise the Extend
+	// path (hit below the new watermark, tail scan, merge back).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 80; i++ {
+			if _, err := db.Query("select count(*) from t where val >= 90"); err != nil {
+				errCh <- fmt.Errorf("repeater: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Appender: grows the table (and the dictionaries) under the scans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 15; i++ {
+			b := predcache.NewBatch(schema)
+			for j := 0; j < 400; j++ {
+				b.Cols[0].Ints = append(b.Cols[0].Ints, int64(rows+i*400+j))
+				b.Cols[1].Strings = append(b.Cols[1].Strings, fmt.Sprintf("n-%d", r.Intn(8)))
+				b.Cols[2].Floats = append(b.Cols[2].Floats, float64(r.Intn(100)))
+				b.Cols[3].Ints = append(b.Cols[3].Ints, int64(20000+r.Intn(365)))
+			}
+			b.N = 400
+			if err := db.Insert("t", b); err != nil {
+				errCh <- fmt.Errorf("appender: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Deleter + vacuumer: shrinks visibility and periodically rewrites the
+	// physical layout, invalidating every cached entry for the table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			pred, err := predcache.ParseWhere(fmt.Sprintf("val = %d", i*7))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := db.DeleteWhere("t", pred); err != nil {
+				errCh <- fmt.Errorf("deleter: %w", err)
+				return
+			}
+			if i%3 == 2 {
+				if err := db.Vacuum("t"); err != nil {
+					errCh <- fmt.Errorf("vacuum: %w", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Introspector: walks the cache LRU and counters while everything churns.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			_ = db.CacheEntries()
+			_ = db.CacheStats()
+			_ = db.LastQueryStats()
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	res, err := db.Query("select count(*) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Col(0).Ints[0] == 0 {
+		t.Fatal("all rows vanished")
+	}
+	if s := db.CacheStats(); s.Inserts == 0 || s.Evictions == 0 {
+		t.Fatalf("stress did not exercise the cache: %+v", s)
+	}
+}

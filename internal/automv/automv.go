@@ -54,11 +54,11 @@ func (v *View) Key() string { return v.key }
 // Manager detects templates and maintains views.
 type Manager struct {
 	mu        sync.Mutex
-	cat       *storage.Catalog
-	views     map[string]*View
-	observed  map[string]int
-	threshold int
-	stats     Stats
+	cat       *storage.Catalog // immutable after NewManager
+	views     map[string]*View // guarded by mu
+	observed  map[string]int   // guarded by mu
+	threshold int              // immutable after NewManager
+	stats     Stats            // guarded by mu
 }
 
 // NewManager creates a manager that materializes a template after it has

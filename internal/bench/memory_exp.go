@@ -291,7 +291,7 @@ func (r *Runner) Table1() error {
 		for i := 0; i < 5; i++ {
 			start := time.Now()
 			if _, ok, err := mgr.TryAnswer(stmtEnd); err != nil || !ok {
-				return fmt.Errorf("table1: automv end answer failed: %v", err)
+				return fmt.Errorf("table1: automv end answer failed: %w", err)
 			}
 			if d := time.Since(start); i == 0 || d < warmBest {
 				warmBest = d

@@ -84,16 +84,16 @@ type Candidates struct {
 // use.
 type Cache struct {
 	mu      sync.Mutex
-	cfg     Config
-	entries map[string]*entry
-	head    *entry // most recently used
-	tail    *entry // least recently used
-	mem     int
-	stats   Stats
-	enabled bool
+	cfg     Config            // immutable after NewCache
+	entries map[string]*entry // guarded by mu
+	head    *entry            // guarded by mu; most recently used
+	tail    *entry            // guarded by mu; least recently used
+	mem     int               // guarded by mu
+	stats   Stats             // guarded by mu
+	enabled bool              // guarded by mu
 
 	// observed counts key sightings for the AdmitAfter policy.
-	observed map[string]int
+	observed map[string]int // guarded by mu
 }
 
 // NewCache creates a predicate cache.
@@ -154,6 +154,7 @@ func (c *Cache) Clear() {
 
 // --- intrusive LRU list ---
 
+// pclint:held — callers hold c.mu.
 func (c *Cache) lruPushFront(e *entry) {
 	e.lruPrev = nil
 	e.lruNext = c.head
@@ -166,6 +167,7 @@ func (c *Cache) lruPushFront(e *entry) {
 	}
 }
 
+// pclint:held — callers hold c.mu.
 func (c *Cache) lruRemove(e *entry) {
 	if e.lruPrev != nil {
 		e.lruPrev.lruNext = e.lruNext
@@ -180,6 +182,7 @@ func (c *Cache) lruRemove(e *entry) {
 	e.lruPrev, e.lruNext = nil, nil
 }
 
+// pclint:held — callers hold c.mu.
 func (c *Cache) lruTouch(e *entry) {
 	if c.head == e {
 		return
@@ -279,6 +282,7 @@ func (c *Cache) materializeLocked(e *entry) Candidates {
 		} else {
 			cand.PerSlice[i] = bitmapRanges(se.bitmap, c.cfg.RowsPerBlock, se.watermark)
 		}
+		storage.AssertRowRanges(cand.PerSlice[i], se.watermark, "core.Cache.materialize")
 	}
 	return cand
 }
@@ -330,6 +334,7 @@ func (c *Cache) Insert(key Key, tbl *storage.Table, epoch uint64, deps []BuildDe
 		slices:      make([]sliceEntry, len(perSlice)),
 	}
 	for i, ranges := range perSlice {
+		storage.AssertRowRanges(ranges, watermarks[i], "core.Cache.Insert")
 		se := &e.slices[i]
 		se.watermark = watermarks[i]
 		if c.cfg.Kind == RangeIndex {
@@ -376,6 +381,7 @@ func (c *Cache) Extend(key string, slice int, tailRanges []storage.RowRange, new
 	if newWatermark <= se.watermark {
 		return
 	}
+	storage.AssertRowRanges(tailRanges, newWatermark, "core.Cache.Extend")
 	c.mem -= e.mem
 	if e.kind == RangeIndex {
 		merged := append(append([]storage.RowRange(nil), se.ranges...), tailRanges...)

@@ -117,6 +117,7 @@ func (b *RangeBuilder) Finish() []storage.RowRange {
 	for i := b.first; i >= 0; i = b.next[i] {
 		out = append(out, storage.RowRange{Start: b.starts[i], End: b.ends[i]})
 	}
+	storage.AssertRowRanges(out, -1, "core.RangeBuilder.Finish")
 	return out
 }
 

@@ -33,10 +33,16 @@ func (c *BlockCtx) SetInt(col int, v []int64) { c.ints[col] = v }
 // SetFloat installs the decompressed float vector of a column.
 func (c *BlockCtx) SetFloat(col int, v []float64) { c.floats[col] = v }
 
-// Ints returns the integer vector of a column.
+// Ints returns the integer vector of a column. The vector is a per-block
+// scratch buffer overwritten by the next block load; read it within the
+// batch only, and copy elements out — never retain the slice itself.
+//
+// pclint:recycled
 func (c *BlockCtx) Ints(col int) []int64 { return c.ints[col] }
 
-// Floats returns the float vector of a column.
+// Floats returns the float vector of a column. Batch-scoped like Ints.
+//
+// pclint:recycled
 func (c *BlockCtx) Floats(col int) []float64 { return c.floats[col] }
 
 // Dict returns the dictionary of a string column.

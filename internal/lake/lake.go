@@ -41,13 +41,15 @@ type DataFile struct {
 
 // Table is a lake-resident table: schema + manifest of live files.
 type Table struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	// name, schema and the dicts header are immutable after NewTable
+	// (dictionary contents grow under mu).
 	name     string
 	schema   storage.Schema
 	dicts    []*storage.Dict
-	files    []*DataFile
-	nextFile uint64
-	snapshot uint64 // bumps on every manifest commit
+	files    []*DataFile // guarded by mu
+	nextFile uint64      // guarded by mu
+	snapshot uint64      // guarded by mu; bumps on every manifest commit
 }
 
 // NewTable creates an empty lake table.

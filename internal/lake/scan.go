@@ -43,11 +43,11 @@ type cacheEntry struct {
 // cache indexes qualifying files and row ranges within them.
 type Cache struct {
 	mu        sync.Mutex
-	maxRanges int
-	entries   map[string]*cacheEntry
-	hits      int64
-	misses    int64
-	extends   int64
+	maxRanges int                    // immutable after NewCache
+	entries   map[string]*cacheEntry // guarded by mu
+	hits      int64                  // guarded by mu
+	misses    int64                  // guarded by mu
+	extends   int64                  // guarded by mu
 }
 
 // NewCache creates a lake predicate cache; maxRanges bounds the per-file

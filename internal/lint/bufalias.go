@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// BufAlias flags retention of recycled per-batch buffers. Functions whose
+// doc comment carries the `pclint:recycled` marker hand out slices that are
+// overwritten on the next batch (e.g. expr.BlockCtx.Ints/Floats — the
+// vectorized scan's per-block column vectors, and Slice.InsertXIDs — live
+// MVCC arrays). A value obtained from such a function may be read freely
+// within the batch, and its *elements* may be copied out, but the slice
+// itself must not escape:
+//
+//   - stored into a struct field, map, or package-level variable,
+//   - returned from the function,
+//   - sent on a channel,
+//   - appended as an element (append(dst, buf) — append(dst, buf...) is a
+//     copy and therefore fine),
+//   - captured by a goroutine.
+//
+// Local aliases (b2 := buf, b2 := buf[:n]) are tracked one assignment deep.
+type BufAlias struct{}
+
+// Name implements Analyzer.
+func (BufAlias) Name() string { return "bufalias" }
+
+// Run implements Analyzer.
+func (BufAlias) Run(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, fd := range fileFuncs(file) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, checkBufAlias(prog, pkg, fd)...)
+		}
+	}
+	return out
+}
+
+func checkBufAlias(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	// Pass 1: find tainted locals — assigned from recycled calls, directly
+	// or through slicing/alias chains. Iterate to a fixed point so aliases
+	// of aliases are caught regardless of source order.
+	tainted := make(map[types.Object]bool)
+	var taintedFrom func(e ast.Expr) bool
+	taintedFrom = func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.CallExpr:
+			if callee := calleeObj(pkg.Info, v); callee != nil && prog.Recycled[callee] {
+				return true
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[v]; obj != nil && tainted[obj] {
+				return true
+			}
+		case *ast.SliceExpr:
+			return taintedFrom(v.X)
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var obj types.Object
+				if as.Tok.String() == ":=" {
+					obj = pkg.Info.Defs[id]
+				} else {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if taintedFrom(as.Rhs[i]) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	finding := func(pos ast.Node, how string) Finding {
+		return Finding{
+			Analyzer: "bufalias",
+			Pos:      pkg.Fset.Position(pos.Pos()),
+			Message:  fmt.Sprintf("recycled per-batch buffer %s; copy the data out instead (buffer is reused on the next batch)", how),
+		}
+	}
+
+	// Pass 2: find escapes.
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range node.Lhs {
+				if i >= len(node.Rhs) {
+					break
+				}
+				if !escapingLHS(pkg.Info, lhs) {
+					continue
+				}
+				rhs := node.Rhs[i]
+				if taintedFrom(rhs) {
+					out = append(out, finding(rhs, "stored outside the batch scope"))
+					continue
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if arg := taintedAppendElem(pkg.Info, call, taintedFrom); arg != nil {
+						out = append(out, finding(arg, "appended as an element and stored outside the batch scope"))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// A function itself marked pclint:recycled is a forwarder: its
+			// contract is to re-expose the buffer, so its returns are exempt.
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil && prog.Recycled[obj] {
+				break
+			}
+			for _, res := range node.Results {
+				if taintedFrom(res) {
+					out = append(out, finding(res, "returned from the function"))
+				} else if call, ok := res.(*ast.CallExpr); ok {
+					if arg := taintedAppendElem(pkg.Info, call, taintedFrom); arg != nil {
+						out = append(out, finding(arg, "appended as an element and returned"))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if taintedFrom(node.Value) {
+				out = append(out, finding(node.Value, "sent on a channel"))
+			}
+		case *ast.GoStmt:
+			if fl, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(inner ast.Node) bool {
+					if id, ok := inner.(*ast.Ident); ok {
+						if obj := pkg.Info.Uses[id]; obj != nil && tainted[obj] {
+							out = append(out, finding(id, "captured by a goroutine"))
+						}
+					}
+					return true
+				})
+			}
+			for _, arg := range node.Call.Args {
+				if taintedFrom(arg) {
+					out = append(out, finding(arg, "passed to a goroutine"))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapingLHS reports whether an assignment target outlives the function's
+// local scope: struct fields, index expressions on non-locals, package-level
+// variables.
+func escapingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch v := lhs.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[v]
+		return ok && sel.Kind() == types.FieldVal
+	case *ast.IndexExpr:
+		return escapingLHS(info, v.X) || isPackageLevel(info, v.X)
+	case *ast.Ident:
+		return isPackageLevelIdent(info, v)
+	}
+	return false
+}
+
+func isPackageLevel(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && isPackageLevelIdent(info, id)
+}
+
+func isPackageLevelIdent(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// taintedAppendElem returns the first tainted argument appended as an
+// element (no ellipsis) in an append call, or nil.
+func taintedAppendElem(info *types.Info, call *ast.CallExpr, taintedFrom func(ast.Expr) bool) ast.Expr {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if obj := info.Uses[id]; obj == nil || obj.Parent() != types.Universe {
+		return nil
+	}
+	for i := 1; i < len(call.Args); i++ {
+		if i == len(call.Args)-1 && call.Ellipsis.IsValid() {
+			continue // append(dst, buf...) copies elements: safe
+		}
+		if taintedFrom(call.Args[i]) {
+			return call.Args[i]
+		}
+	}
+	return nil
+}
+
+// calleeObj resolves the called function or method object of a call.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

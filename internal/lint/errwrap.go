@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap flags fmt.Errorf calls that format an error operand with any verb
+// other than %w. Without %w the cause is flattened into text and
+// errors.Is/errors.As cannot traverse the chain — which breaks callers that
+// classify engine errors.
+type ErrWrap struct{}
+
+// Name implements Analyzer.
+func (ErrWrap) Name() string { return "errwrap" }
+
+// Run implements Analyzer.
+func (ErrWrap) Run(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if !isPkgFunc(pkg.Info, call.Fun, "fmt", "Errorf") {
+				return true
+			}
+			format, ok := constantString(pkg.Info, call.Args[0])
+			if !ok {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				return true // args spread from a slice: positions unknowable
+			}
+			verbs := formatVerbs(format)
+			for vi, verb := range verbs {
+				argIdx := 1 + vi
+				if argIdx >= len(call.Args) {
+					break // malformed format; go vet's printf check owns this
+				}
+				if verb != 'w' && isErrorType(pkg.Info.TypeOf(call.Args[argIdx])) {
+					out = append(out, Finding{
+						Analyzer: "errwrap",
+						Pos:      pkg.Fset.Position(call.Args[argIdx].Pos()),
+						Message: "error operand formatted with %" + string(verb) +
+							"; use %w so errors.Is/As can unwrap it",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPkgFunc reports whether fun is a direct reference to pkgPath.name.
+func isPkgFunc(info *types.Info, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// constantString returns the compile-time string value of expr, if any
+// (handles literals and constant concatenations).
+func constantString(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter for every argument-consuming directive
+// of a printf format string, in argument order. A '*' width or precision
+// consumes an argument and is reported as '*'.
+func formatVerbs(format string) []rune {
+	var out []rune
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // skip '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0', '\'':
+				i++
+				continue
+			}
+			break
+		}
+		// Width.
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			out = append(out, '*')
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			}
+		}
+		// Explicit argument index: %[n]v — bail out, positions are not
+		// sequential; vet's printf check handles these.
+		if i < len(format) && format[i] == '[' {
+			return out
+		}
+		if i < len(format) {
+			out = append(out, rune(format[i]))
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package lint implements pclint, a project-specific static-analysis suite
+// built exclusively on the standard library (go/parser, go/ast, go/types,
+// go/importer) — no golang.org/x/tools dependency, preserving the module's
+// zero-dependency claim.
+//
+// Four analyzers target the failure modes of this codebase's concurrent scan
+// and cache paths:
+//
+//   - lockcheck: struct fields annotated `// guarded by <mu>` may only be
+//     accessed while that mutex is held, and lock-bearing structs must not
+//     be copied by value.
+//   - errwrap: fmt.Errorf calls that format an error operand must use %w so
+//     errors.Is/As can traverse the chain.
+//   - bufalias: values returned by functions annotated `pclint:recycled`
+//     (per-batch scratch buffers recycled by the vectorized scan) must not
+//     be retained beyond the batch callback.
+//   - goroutinectx: every spawned goroutine must either be joined by a
+//     sync.WaitGroup in the same function or be cancellable (receive a
+//     context or channel signal).
+//
+// The annotation conventions are documented in DESIGN.md ("Correctness
+// tooling").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string // import path
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Program is the full set of loaded packages plus cross-package indexes the
+// analyzers share (e.g. which function objects are marked pclint:recycled).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// Recycled holds function/method objects whose doc comment carries the
+	// `pclint:recycled` marker: their results are batch-scoped buffers.
+	Recycled map[types.Object]bool
+}
+
+// Analyzer is one pclint check.
+type Analyzer interface {
+	Name() string
+	Run(prog *Program, pkg *Package) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{LockCheck{}, ErrWrap{}, BufAlias{}, GoroutineCtx{}}
+}
+
+// NewProgram builds the shared indexes over a set of loaded packages.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	prog := &Program{Fset: fset, Packages: pkgs, Recycled: make(map[types.Object]bool)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				if !commentContains(fd.Doc, "pclint:recycled") {
+					continue
+				}
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					prog.Recycled[obj] = true
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// Run executes the given analyzers over every package and returns findings
+// sorted by position.
+func (prog *Program) Run(analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			out = append(out, a.Run(prog, pkg)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+func commentContains(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is assignable to the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}
+
+// fileFuncs returns all top-level function declarations of the file.
+func fileFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

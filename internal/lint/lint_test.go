@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFixture loads testdata/src/<name> and runs a single analyzer over it.
+// It returns the findings plus the set of line numbers carrying a `// want`
+// marker in the fixture source.
+func runFixture(t *testing.T, name string, a Analyzer) (findings []Finding, wants map[int]bool) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("no package loaded from %s", dir)
+	}
+	prog := NewProgram(loader.Fset(), []*Package{pkg})
+	findings = prog.Run([]Analyzer{a})
+
+	wants = make(map[int]bool)
+	src, err := os.ReadFile(filepath.Join(dir, name+".go"))
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "// want") {
+			wants[i+1] = true
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want markers", name)
+	}
+	return findings, wants
+}
+
+// checkFixture asserts the analyzer reported on exactly the `// want` lines:
+// every marked line has at least one finding, and no finding lands on an
+// unmarked line.
+func checkFixture(t *testing.T, name string, a Analyzer) {
+	t.Helper()
+	findings, wants := runFixture(t, name, a)
+	got := make(map[int]bool)
+	for _, f := range findings {
+		if f.Analyzer != a.Name() {
+			t.Errorf("finding from wrong analyzer %q: %s", f.Analyzer, f)
+		}
+		got[f.Pos.Line] = true
+		if !wants[f.Pos.Line] {
+			t.Errorf("unexpected finding (no // want on line %d): %s", f.Pos.Line, f)
+		}
+	}
+	for line := range wants {
+		if !got[line] {
+			t.Errorf("%s: line %d marked // want but analyzer %s reported nothing", name, line, a.Name())
+		}
+	}
+}
+
+func TestErrWrapFixture(t *testing.T)      { checkFixture(t, "errwrap", ErrWrap{}) }
+func TestLockCheckFixture(t *testing.T)    { checkFixture(t, "lockcheck", LockCheck{}) }
+func TestBufAliasFixture(t *testing.T)     { checkFixture(t, "bufalias", BufAlias{}) }
+func TestGoroutineCtxFixture(t *testing.T) { checkFixture(t, "goroutinectx", GoroutineCtx{}) }
+
+// TestRepoClean runs the full suite over the real module and requires zero
+// findings: the codebase must stay lint-clean.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; skipped with -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	prog := NewProgram(loader.Fset(), pkgs)
+	findings := prog.Run(Analyzers())
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}

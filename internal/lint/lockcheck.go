@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockCheck enforces the repo's lock-annotation discipline:
+//
+//   - A struct field whose doc or line comment contains `guarded by <mu>`
+//     may only be read or written while <mu> (a sync.Mutex or sync.RWMutex
+//     field of the same struct) is held.
+//   - A function is considered to hold the mutex at an access if it either
+//     (a) called <expr>.<mu>.Lock() or RLock() earlier in the body with no
+//     intervening Unlock/RUnlock, (b) has the `Locked` name suffix, or
+//     (c) carries the `pclint:held` doc marker — both conventions meaning
+//     "caller holds the lock".
+//   - Fresh values built in the same function via a composite literal
+//     (constructors) are exempt: nothing else can see them yet.
+//   - Lock-bearing structs must not be copied: value receivers, value
+//     parameters, value results and *p dereference copies are flagged.
+//
+// The analysis is lexical and per-function: closure bodies (func literals)
+// are not analyzed, and lock state does not flow across calls. That matches
+// this codebase's style — methods take the lock at the top or are named
+// *Locked — and keeps the checker dependency-free.
+type LockCheck struct{}
+
+// Name implements Analyzer.
+func (LockCheck) Name() string { return "lockcheck" }
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	structName string
+	fieldName  string
+	mutexName  string
+	mutexVar   *types.Var // the guard field; nil if the annotation is broken
+}
+
+// lockEvent is one Lock/Unlock call inside a function body.
+type lockEvent struct {
+	pos   token.Pos
+	mutex *types.Var // guard field object
+	delta int        // +1 Lock/RLock, -1 Unlock/RUnlock
+}
+
+// Run implements Analyzer.
+func (lc LockCheck) Run(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+
+	// Phase 1: collect guarded-field annotations.
+	guards := make(map[*types.Var]guardInfo) // guarded field -> info
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				muVar := structFieldVar(pkg.Info, st, mu)
+				if muVar == nil || !isMutexType(muVar.Type()) {
+					out = append(out, Finding{
+						Analyzer: "lockcheck",
+						Pos:      pkg.Fset.Position(field.Pos()),
+						Message:  fmt.Sprintf("field annotated `guarded by %s` but %s.%s is not a sync.Mutex/RWMutex field", mu, ts.Name.Name, mu),
+					})
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guards[fv] = guardInfo{structName: ts.Name.Name, fieldName: name.Name, mutexName: mu, mutexVar: muVar}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: check every function body.
+	for _, file := range pkg.Files {
+		for _, fd := range fileFuncs(file) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, lc.checkCopies(pkg, fd)...)
+			if len(guards) > 0 {
+				out = append(out, lc.checkBody(pkg, fd, guards)...)
+			}
+		}
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's comments.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structFieldVar resolves a field name of a struct type declaration.
+func structFieldVar(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				v, _ := info.Defs[n].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// holdsAll reports whether fd is marked as running with the caller's lock
+// held (the *Locked suffix or pclint:held marker).
+func holdsAll(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	return commentContains(fd.Doc, "pclint:held")
+}
+
+// checkBody verifies guarded-field accesses inside one function.
+func (LockCheck) checkBody(pkg *Package, fd *ast.FuncDecl, guards map[*types.Var]guardInfo) []Finding {
+	if holdsAll(fd) {
+		return nil
+	}
+
+	// Fresh locals: identifiers bound to composite literals (or their
+	// address) in this body. Constructor writes to them are exempt.
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				rhs = ue.X
+			}
+			if _, ok := rhs.(*ast.CompositeLit); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Collect lock events and guarded accesses in one walk, skipping func
+	// literal subtrees (closure bodies run at unknowable times).
+	var events []lockEvent
+	type access struct {
+		pos   token.Pos
+		info  guardInfo
+		field *types.Var
+	}
+	var accesses []access
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+	// An Unlock immediately followed by return/break/continue leaves the
+	// enclosing flow — it must not clear the held state for code after the
+	// branch (the `if miss { mu.Unlock(); return }` early-exit pattern).
+	// Accesses inside the exiting statement itself still happen after the
+	// unlock, so the release applies up to the end of that statement and the
+	// held state is restored afterwards. Maps the unlock call to that end
+	// position.
+	exiting := make(map[*ast.CallExpr]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var stmts []ast.Stmt
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			stmts = v.List
+		case *ast.CaseClause:
+			stmts = v.Body
+		case *ast.CommClause:
+			stmts = v.Body
+		default:
+			return true
+		}
+		for i := 0; i+1 < len(stmts); i++ {
+			es, ok := stmts[i].(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			switch stmts[i+1].(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				exiting[call] = stmts[i+1].End()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			// A deferred Unlock releases at return, after every lexical
+			// access — it must not clear the held state at its own position.
+			if deferred[node] {
+				return true
+			}
+			if mu, delta, ok := lockCall(pkg.Info, node); ok {
+				events = append(events, lockEvent{pos: node.Pos(), mutex: mu, delta: delta})
+				if delta < 0 {
+					if end, ok := exiting[node]; ok {
+						// Restore held state after the exiting statement: code
+						// lexically below it runs on paths where this unlock
+						// never executed.
+						events = append(events, lockEvent{pos: end, mutex: mu, delta: +1})
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			selInfo, ok := pkg.Info.Selections[node]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			gi, guarded := guards[fv]
+			if !guarded {
+				return true
+			}
+			if base, ok := node.X.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[base]; obj != nil && fresh[obj] {
+					return true
+				}
+			}
+			accesses = append(accesses, access{pos: node.Pos(), info: gi, field: fv})
+		}
+		return true
+	})
+	if len(accesses) == 0 {
+		return nil
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	heldAt := func(mu *types.Var, pos token.Pos) bool {
+		depth := 0
+		for _, ev := range events {
+			if ev.pos >= pos {
+				break
+			}
+			if ev.mutex == mu {
+				depth += ev.delta
+			}
+		}
+		return depth > 0
+	}
+
+	var out []Finding
+	for _, acc := range accesses {
+		if heldAt(acc.info.mutexVar, acc.pos) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "lockcheck",
+			Pos:      pkg.Fset.Position(acc.pos),
+			Message: fmt.Sprintf("%s.%s is accessed without holding %s (field is `guarded by %s`)",
+				acc.info.structName, acc.info.fieldName, acc.info.mutexName, acc.info.mutexName),
+		})
+	}
+	return out
+}
+
+// lockCall recognizes <expr>.<mu>.Lock/RLock/Unlock/RUnlock() where <mu> is
+// a struct field of mutex type, returning the guard field and lock delta.
+func lockCall(info *types.Info, call *ast.CallExpr) (*types.Var, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	var delta int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return nil, 0, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0, false
+	}
+	selInfo, ok := info.Selections[inner]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return nil, 0, false
+	}
+	fv, ok := selInfo.Obj().(*types.Var)
+	if !ok || !isMutexType(fv.Type()) {
+		return nil, 0, false
+	}
+	return fv, delta, true
+}
+
+// checkCopies flags by-value copies of lock-bearing structs.
+func (LockCheck) checkCopies(pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, what string, t types.Type) {
+		out = append(out, Finding{
+			Analyzer: "lockcheck",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf("%s copies lock-bearing struct %s; use a pointer", what, types.TypeString(t, types.RelativeTo(pkg.Types))),
+		})
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if t := pkg.Info.TypeOf(f.Type); t != nil && !isPointer(t) && containsLock(t, nil) {
+				flag(f.Pos(), "method receiver", t)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if t := pkg.Info.TypeOf(f.Type); t != nil && !isPointer(t) && containsLock(t, nil) {
+				flag(f.Pos(), "parameter", t)
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			if t := pkg.Info.TypeOf(f.Type); t != nil && !isPointer(t) && containsLock(t, nil) {
+				flag(f.Pos(), "result", t)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		// A *p expression that is read (copied) somewhere. Writing through
+		// the pointer (*p = x) is fine for the LHS; ast.Inspect visits the
+		// LHS too, so filter: flag only if the dereferenced type contains a
+		// lock — both *p = *q sides then involve a struct copy anyway.
+		if t := pkg.Info.TypeOf(ue); t != nil && containsLock(t, nil) {
+			flag(ue.Pos(), "dereference", t)
+		}
+		return true
+	})
+	return out
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// containsLock reports whether t (transitively through struct fields and
+// arrays) contains a sync or sync/atomic value whose copy would be unsafe.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				return obj.Name() != "Locker" // every sync value type pins memory
+			case "sync/atomic":
+				return true // atomic types carry noCopy
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+// Package bufalias is a pclint test fixture; "want" comment markers flag
+// the lines where the bufalias analyzer must report.
+package bufalias
+
+type ctx struct {
+	ints [][]int64
+}
+
+// Ints hands out the per-batch scratch vector. pclint:recycled
+func (c *ctx) Ints(col int) []int64 { return c.ints[col] }
+
+// IntsAlias forwards a recycled buffer and is itself marked, so the direct
+// return is allowed. pclint:recycled
+func (c *ctx) IntsAlias(col int) []int64 { return c.Ints(col) }
+
+type sink struct {
+	kept []int64
+	all  [][]int64
+}
+
+var global []int64
+
+func badStore(c *ctx, s *sink) {
+	buf := c.Ints(0)
+	s.kept = buf // want
+}
+
+func badAppendElem(c *ctx, s *sink) {
+	buf := c.Ints(0)
+	s.all = append(s.all, buf) // want
+}
+
+func badReturn(c *ctx) []int64 {
+	return c.Ints(0) // want
+}
+
+func badSendAlias(c *ctx, ch chan []int64) {
+	b := c.Ints(1)
+	b2 := b[:2]
+	ch <- b2 // want
+}
+
+func badGlobal(c *ctx) {
+	global = c.Ints(0) // want
+}
+
+func goodElementCopy(c *ctx, s *sink) {
+	buf := c.Ints(0)
+	for _, v := range buf {
+		s.kept = append(s.kept, v)
+	}
+}
+
+func goodSpreadCopy(c *ctx, s *sink) {
+	buf := c.Ints(0)
+	s.kept = append(s.kept, buf...)
+}
+
+func goodLocalUse(c *ctx) int64 {
+	buf := c.Ints(0)
+	var sum int64
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}

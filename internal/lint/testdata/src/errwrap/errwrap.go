@@ -1,0 +1,35 @@
+// Package errwrap is a pclint test fixture; "want" comment markers flag the
+// lines where the errwrap analyzer must report.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func bad1() error { return fmt.Errorf("open: %v", errBase) } // want
+
+func bad2() error { return fmt.Errorf("q %d failed: %s", 7, errBase) } // want
+
+func badWrapped() error {
+	err := bad1()
+	return fmt.Errorf("outer(%d): %v", 1, err) // want
+}
+
+func good1() error { return fmt.Errorf("open: %w", errBase) }
+
+func good2() error { return fmt.Errorf("no error here: %d", 42) }
+
+func good3() error { return fmt.Errorf("width %*d ok: %w", 3, 7, errBase) }
+
+func good4() error {
+	// Constant concatenation still resolves; %w position is mapped across
+	// the star width above.
+	return fmt.Errorf("a"+": %w", errBase)
+}
+
+func goodNonConst(format string) error {
+	return fmt.Errorf(format, errBase) // format unknown: not our call
+}

@@ -1,0 +1,56 @@
+// Package goroutinectx is a pclint test fixture; "want" comment markers flag
+// the lines where the goroutinectx analyzer must report.
+package goroutinectx
+
+import (
+	"context"
+	"sync"
+)
+
+func goodWG() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func goodChanArg(stop chan struct{}) {
+	go worker(stop)
+}
+
+func worker(stop chan struct{}) { <-stop }
+
+func goodRangeOverChan(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+func goodSelect(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func badFireAndForget() {
+	go func() {}() // want
+}
+
+func badOpaqueCall(f func()) {
+	go f() // want
+}

@@ -41,11 +41,11 @@ type Stats struct {
 // Cache is a query-text-keyed result cache.
 type Cache struct {
 	mu      sync.Mutex
-	entries map[string]*entry
-	lru     *list.List // front = most recent
-	mem     int
-	budget  int // bytes; 0 = unlimited
-	stats   Stats
+	entries map[string]*entry // guarded by mu
+	lru     *list.List        // guarded by mu; front = most recent
+	mem     int               // guarded by mu
+	budget  int               // immutable after New; bytes, 0 = unlimited
+	stats   Stats             // guarded by mu
 }
 
 // New creates a result cache with the given memory budget in bytes

@@ -11,7 +11,7 @@ import (
 // transaction-id source used for MVCC snapshots.
 type Catalog struct {
 	mu     sync.RWMutex
-	tables map[string]*Table
+	tables map[string]*Table // guarded by mu
 	xid    atomic.Uint64
 }
 

@@ -138,6 +138,7 @@ func (c *ColumnStore) seal() {
 				max = v
 			}
 		}
+		assertZoneMapFloat(min, max, "ColumnStore.seal")
 		data := make([]float64, len(c.tailFloats))
 		copy(data, c.tailFloats)
 		c.blocks = append(c.blocks, &Block{N: len(data), Floats: data, MinF: min, MaxF: max, isFloat: true})
@@ -156,6 +157,7 @@ func (c *ColumnStore) seal() {
 			max = v
 		}
 	}
+	assertZoneMapInt(min, max, "ColumnStore.seal")
 	enc, words := encodeInts(c.tailInts, min, max)
 	c.blocks = append(c.blocks, &Block{N: len(c.tailInts), Enc: enc, Words: words, MinI: min, MaxI: max})
 	c.tailInts = c.tailInts[:0]
@@ -191,6 +193,7 @@ func (c *ColumnStore) ReadFloatBlock(i int, dst []float64) int {
 func (c *ColumnStore) IntBounds(i int) (min, max int64, ok bool) {
 	if i < len(c.blocks) {
 		b := c.blocks[i]
+		assertZoneMapInt(b.MinI, b.MaxI, "ColumnStore.IntBounds")
 		return b.MinI, b.MaxI, true
 	}
 	if len(c.tailInts) == 0 {
@@ -212,6 +215,7 @@ func (c *ColumnStore) IntBounds(i int) (min, max int64, ok bool) {
 func (c *ColumnStore) FloatBounds(i int) (min, max float64, ok bool) {
 	if i < len(c.blocks) {
 		b := c.blocks[i]
+		assertZoneMapFloat(b.MinF, b.MaxF, "ColumnStore.FloatBounds")
 		return b.MinF, b.MaxF, true
 	}
 	if len(c.tailFloats) == 0 {

@@ -32,10 +32,18 @@ func (s *Slice) NumBlocks() int { return (s.numRows + BlockSize - 1) / BlockSize
 // Column returns the column store at index i.
 func (s *Slice) Column(i int) *ColumnStore { return s.cols[i] }
 
-// InsertXIDs exposes the per-row creation timestamps (read-only).
+// InsertXIDs exposes the per-row creation timestamps (read-only). The
+// returned slice aliases live MVCC state that appends grow and Vacuum
+// replaces; read it only while holding the table's scan lock and never
+// retain it across the scan.
+//
+// pclint:recycled
 func (s *Slice) InsertXIDs() []uint64 { return s.insertXID }
 
-// DeleteXIDs exposes the per-row deletion timestamps (read-only).
+// DeleteXIDs exposes the per-row deletion timestamps (read-only). Same
+// aliasing rules as InsertXIDs.
+//
+// pclint:recycled
 func (s *Slice) DeleteXIDs() []uint64 { return s.deleteXID }
 
 // Visible reports whether row is visible to a snapshot: the row was created
@@ -73,6 +81,7 @@ func (s *Slice) appendRow(vals []int64, fvals []float64, xid uint64) {
 	s.insertXID = append(s.insertXID, xid)
 	s.deleteXID = append(s.deleteXID, 0)
 	s.numRows++
+	assertMVCCHeaders(s, "Slice.appendRow")
 }
 
 // deleteRow marks a row deleted at xid. Idempotent for already-deleted rows
@@ -81,6 +90,7 @@ func (s *Slice) deleteRow(row int, xid uint64) {
 	if s.deleteXID[row] == 0 {
 		s.deleteXID[row] = xid
 	}
+	assertMVCCRow(s.insertXID[row], s.deleteXID[row], row, "Slice.deleteRow")
 }
 
 // MemBytes approximates the slice's memory footprint (blocks + MVCC

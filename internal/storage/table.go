@@ -34,6 +34,9 @@ func NewBatch(schema Schema) *Batch {
 type Table struct {
 	mu sync.RWMutex
 
+	// name, schema, colIdx and sortKey are immutable after NewTable. The
+	// dicts and slices slice headers are also fixed at construction: only
+	// their *contents* change, under mu (scans read them under RLockScan).
 	name    string
 	schema  Schema
 	colIdx  map[string]int
@@ -44,25 +47,25 @@ type Table struct {
 	// sortedRows[i] is the number of rows of slice i that are covered by the
 	// sort order; rows beyond it live in the insert buffer (§4.3.1) until the
 	// next vacuum merges them.
-	sortedRows []int
+	sortedRows []int // guarded by mu
 
-	nextChunk int // round-robin chunk distribution cursor
+	nextChunk int // guarded by mu; round-robin chunk distribution cursor
 
 	// version counts committed DML statements against this table. Result
 	// caches and join-index entries compare versions to detect changes.
-	version uint64
+	version uint64 // guarded by mu
 
 	// layoutEpoch changes only when physical row numbers change (vacuum /
 	// reorganization). Predicate-cache entries are bound to an epoch.
-	layoutEpoch uint64
+	layoutEpoch uint64 // guarded by mu
 
 	// deleteOps counts DELETE statements; materialized-view maintenance uses
 	// it to distinguish append-only histories (incrementally refreshable)
 	// from ones needing a full rebuild.
-	deleteOps uint64
+	deleteOps uint64 // guarded by mu
 
 	// distinctCache memoizes per-column distinct counts for the planner.
-	distinctCache map[int]distinctEntry
+	distinctCache map[int]distinctEntry // guarded by mu
 }
 
 type distinctEntry struct {
@@ -463,6 +466,7 @@ func (t *Table) Vacuum(horizon uint64) {
 	}
 	for i, s := range t.slices {
 		t.sortedRows[i] = s.numRows
+		assertSliceMVCC(s, "Table.Vacuum")
 	}
 	t.layoutEpoch++
 	t.version++

@@ -182,7 +182,7 @@ func FormatDate(days int64) string {
 func ParseDate(s string) (int64, error) {
 	var y, m, d int
 	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
-		return 0, fmt.Errorf("storage: bad date %q: %v", s, err)
+		return 0, fmt.Errorf("storage: bad date %q: %w", s, err)
 	}
 	if m < 1 || m > 12 || d < 1 || d > 31 {
 		return 0, fmt.Errorf("storage: bad date %q", s)

@@ -70,12 +70,13 @@ func NewBatch(schema Schema) *Batch { return storage.NewBatch(schema) }
 
 // DB is an embedded analytical database with a predicate cache.
 type DB struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// cat, cache, slices and parallel are immutable after Open.
 	cat      *storage.Catalog
 	cache    *core.Cache
 	slices   int
 	parallel bool
-	last     storage.ScanStatsSnapshot
+	last     storage.ScanStatsSnapshot // guarded by mu
 }
 
 // Option configures Open.
