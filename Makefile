@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-debug vet lint check clean
+.PHONY: all build test race stress test-debug vet lint smoke check clean
 
 all: build
 
@@ -18,6 +18,11 @@ test:
 # Full suite under the race detector; includes the concurrency stress tests.
 race:
 	$(GO) test -race ./...
+
+# Just the DML-vs-vacuum and concurrency stress tests, under the race
+# detector with the pcdebug assertions compiled in — the harshest setting.
+stress:
+	$(GO) test -race -tags pcdebug -run 'TestDMLVacuumRace|TestConcurrentQueriesAndDML|TestRaceStressParallelScans' -count=2 .
 
 # Tests with the pcdebug build tag: runtime invariant assertions (row-range
 # shape, zone-map bounds, MVCC monotonicity) are compiled in and panic on
@@ -34,8 +39,13 @@ lint:
 	$(GO) run ./cmd/pclint ./...
 	$(GO) run ./cmd/pclint -tags pcdebug ./...
 
+# End-to-end metrics check: starts pcsh with -metrics, runs a query, and
+# validates the Prometheus exposition with cmd/pcsmoke.
+smoke:
+	./scripts/metrics_smoke.sh
+
 # Everything CI runs.
-check: build vet lint test race test-debug
+check: build vet lint test race stress test-debug smoke
 
 clean:
 	$(GO) clean ./...

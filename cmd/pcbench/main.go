@@ -15,11 +15,13 @@ import (
 	"os"
 
 	"github.com/predcache/predcache/internal/bench"
+	"github.com/predcache/predcache/internal/obs"
 )
 
 func main() {
 	cfg := bench.DefaultConfig()
 	fast := flag.Bool("fast", false, "run at the small test scale")
+	metricsAddr := flag.String("metrics", "", "serve runtime metrics/pprof on this address while experiments run; empty disables")
 	flag.Float64Var(&cfg.TpchSF, "tpch-sf", cfg.TpchSF, "TPC-H scale factor")
 	flag.Float64Var(&cfg.SSBSF, "ssb-sf", cfg.SSBSF, "SSB scale factor")
 	flag.Float64Var(&cfg.TpcdsSF, "tpcds-sf", cfg.TpcdsSF, "TPC-DS scale factor")
@@ -40,6 +42,17 @@ func main() {
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		m := obs.NewMetrics()
+		obs.RegisterRuntimeMetrics(m)
+		srv, err := obs.StartServer(*metricsAddr, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
 	}
 	r := bench.NewRunner(cfg, os.Stdout)
 	for _, id := range args {

@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	pcsh [-dataset tpch|tpch-skewed|ssb|tpcds] [-sf 0.01] [-cache range|bitmap|off]
+//	pcsh [-dataset tpch|tpch-skewed|ssb|tpcds] [-sf 0.01] [-cache range|bitmap|off] [-metrics addr]
+//
+// With -metrics, an HTTP endpoint serves Prometheus text at /metrics, JSON
+// at /metrics.json and pprof under /debug/pprof/.
+//
+// Queries prefixed with EXPLAIN print the plan; EXPLAIN ANALYZE executes it
+// and annotates each operator with wall time, cardinalities and per-scan
+// cache outcomes.
 //
 // Meta commands inside the shell:
 //
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	predcache "github.com/predcache/predcache"
+	"github.com/predcache/predcache/internal/obs"
 	"github.com/predcache/predcache/internal/ssb"
 	"github.com/predcache/predcache/internal/tpcds"
 	"github.com/predcache/predcache/internal/tpch"
@@ -34,6 +42,7 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "scale factor")
 	cacheKind := flag.String("cache", "bitmap", "predicate cache: range, bitmap, off")
 	seed := flag.Int64("seed", 1, "generator seed")
+	metricsAddr := flag.String("metrics", "", "serve metrics/pprof on this address (e.g. :8080); empty disables")
 	flag.Parse()
 
 	var opts []predcache.Option
@@ -49,6 +58,19 @@ func main() {
 		os.Exit(2)
 	}
 	db := predcache.Open(opts...)
+
+	if *metricsAddr != "" {
+		m := obs.NewMetrics()
+		db.EnableMetrics(m)
+		obs.RegisterRuntimeMetrics(m)
+		srv, err := obs.StartServer(*metricsAddr, m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsh: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	fmt.Printf("loading %s at SF %.3f...\n", *dataset, *sf)
 	if err := load(db, *dataset, *sf, *seed); err != nil {
@@ -73,8 +95,8 @@ func main() {
 			return
 		case `\stats`:
 			s := db.LastQueryStats()
-			fmt.Printf("rows scanned %d | qualified %d | blocks accessed %d | skipped %d | cache hits %d misses %d\n",
-				s.RowsScanned, s.RowsQualified, s.BlocksAccessed, s.BlocksSkipped, s.CacheHits, s.CacheMisses)
+			fmt.Printf("rows scanned %d | qualified %d | blocks accessed %d | pruned: zonemap %d cache %d | cache hits %d misses %d\n",
+				s.RowsScanned, s.RowsQualified, s.BlocksAccessed, s.BlocksSkipped, s.BlocksPrunedCache, s.CacheHits, s.CacheMisses)
 			prompt()
 			continue
 		case `\cache`:

@@ -1,0 +1,101 @@
+// Command pcsmoke probes a running metrics endpoint and fails loudly when
+// the exposition is malformed: CI starts pcsh with -metrics, runs a query,
+// and points pcsmoke at the /metrics URL.
+//
+// Usage:
+//
+//	pcsmoke [-retries 20] [-delay 500ms] [-require predcache_queries_total] <url>
+//
+// Exit status is 0 only when the endpoint answers 200, the body parses as
+// Prometheus text exposition format, and every -require metric (comma
+// separated) appears in it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/predcache/predcache/internal/obs"
+)
+
+func main() {
+	retries := flag.Int("retries", 20, "fetch attempts before giving up")
+	delay := flag.Duration("delay", 500*time.Millisecond, "pause between attempts")
+	require := flag.String("require", "predcache_queries_total", "comma-separated metric names that must appear")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcsmoke [flags] <metrics-url>")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	body, err := fetch(url, *retries, *delay)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsmoke: malformed exposition from %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !hasMetric(body, name) {
+			fmt.Fprintf(os.Stderr, "pcsmoke: metric %q missing from %s\n", name, url)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("pcsmoke: %s ok (%d bytes)\n", url, len(body))
+}
+
+// fetch GETs url, retrying while the server is still starting up.
+func fetch(url string, retries int, delay time.Duration) ([]byte, error) {
+	var lastErr error
+	for i := 0; i < retries; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+			continue
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", retries, lastErr)
+}
+
+// hasMetric reports whether a sample or TYPE line for name exists.
+func hasMetric(body []byte, name string) bool {
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "# TYPE "+name+" ") {
+			return true
+		}
+		if strings.HasPrefix(line, name) {
+			rest := line[len(name):]
+			if len(rest) > 0 && (rest[0] == ' ' || rest[0] == '{') {
+				return true
+			}
+		}
+	}
+	return false
+}

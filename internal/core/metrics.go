@@ -1,0 +1,32 @@
+package core
+
+import "github.com/predcache/predcache/internal/obs"
+
+// RegisterMetrics exposes the cache's activity counters and footprint on the
+// registry. Everything is pull-style: values are read from Stats() at scrape
+// time, so the cache's hot paths pay nothing for metrics export.
+func (c *Cache) RegisterMetrics(m *obs.Metrics) {
+	counter := func(name, help string, read func(Stats) int64) {
+		m.NewCounterFunc(name, help, func() int64 { return read(c.Stats()) })
+	}
+	counter("predcache_cache_hits_total", "Lookups served from a cache entry.",
+		func(s Stats) int64 { return s.Hits })
+	counter("predcache_cache_misses_total", "Lookups that found no usable entry.",
+		func(s Stats) int64 { return s.Misses })
+	counter("predcache_cache_inserts_total", "Entries created.",
+		func(s Stats) int64 { return s.Inserts })
+	counter("predcache_cache_extends_total", "Entry extensions past a watermark.",
+		func(s Stats) int64 { return s.Extends })
+	counter("predcache_cache_evictions_total", "Entries evicted by the memory budget.",
+		func(s Stats) int64 { return s.Evictions })
+	counter("predcache_cache_invalidations_total", "Entries dropped as stale (vacuum, dependency changes).",
+		func(s Stats) int64 { return s.Invalidations })
+	counter("predcache_cache_admission_deferred_total", "Inserts skipped by the AdmitAfter policy.",
+		func(s Stats) int64 { return s.AdmissionDeferred })
+	counter("predcache_cache_admission_rejected_total", "Inserts skipped by the MaxSelectivity bound.",
+		func(s Stats) int64 { return s.AdmissionRejected })
+	m.NewGauge("predcache_cache_entries", "Live cache entries.",
+		func() float64 { return float64(c.Stats().Entries) })
+	m.NewGauge("predcache_cache_mem_bytes", "Memory held by cache entries.",
+		func() float64 { return float64(c.Stats().MemBytes) })
+}

@@ -21,11 +21,14 @@ type aggState struct {
 }
 
 // Execute performs hash aggregation.
-func (a *Agg) Execute(ec *ExecCtx) (*Relation, error) {
+func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, a)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	in, err := a.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
+	setRowsIn(sp, in)
 
 	// Bind group-by columns.
 	groupCols := make([]*RelCol, len(a.GroupBy))

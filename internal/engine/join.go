@@ -60,7 +60,9 @@ func (e *joinKeyEncoder) encode(dst []byte, row int) []byte {
 // enabled, a Bloom filter of the build keys is pushed into a probe-side
 // base-table scan before it runs, so the scan can cache the semi-join
 // result (§4.4, Figure 12).
-func (j *Join) Execute(ec *ExecCtx) (*Relation, error) {
+func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, j)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	buildRel, err := j.Right.Execute(ec)
 	if err != nil {
 		return nil, err

@@ -10,11 +10,14 @@ import (
 )
 
 // Execute evaluates the projection expressions.
-func (p *Project) Execute(ec *ExecCtx) (*Relation, error) {
+func (p *Project) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, p)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	in, err := p.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
+	setRowsIn(sp, in)
 	ctx := in.blockCtx()
 	sel := make([]int, in.NumRows())
 	for i := range sel {
@@ -56,11 +59,14 @@ func (p *Project) Execute(ec *ExecCtx) (*Relation, error) {
 }
 
 // Execute filters rows of the input relation.
-func (f *Filter) Execute(ec *ExecCtx) (*Relation, error) {
+func (f *Filter) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, f)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	in, err := f.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
+	setRowsIn(sp, in)
 	bound, err := expr.Bind(f.Pred, in)
 	if err != nil {
 		return nil, err
@@ -75,11 +81,14 @@ func (f *Filter) Execute(ec *ExecCtx) (*Relation, error) {
 }
 
 // Execute sorts the input.
-func (s *Sort) Execute(ec *ExecCtx) (*Relation, error) {
+func (s *Sort) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, s)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	in, err := s.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
+	setRowsIn(sp, in)
 	type keyCol struct {
 		col  *RelCol
 		desc bool
@@ -139,11 +148,14 @@ func (s *Sort) Execute(ec *ExecCtx) (*Relation, error) {
 }
 
 // Execute truncates the input to N rows.
-func (l *Limit) Execute(ec *ExecCtx) (*Relation, error) {
+func (l *Limit) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, l)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	in, err := l.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
+	setRowsIn(sp, in)
 	if in.NumRows() <= l.N {
 		return in, nil
 	}
@@ -164,7 +176,9 @@ type Union struct {
 func (u *Union) CacheDescriptor(*ExecCtx) (string, []core.BuildDep, bool) { return "", nil, false }
 
 // Execute concatenates the inputs.
-func (u *Union) Execute(ec *ExecCtx) (*Relation, error) {
+func (u *Union) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, u)
+	defer func() { endNodeSpan(sp, rel, err) }()
 	if len(u.Inputs) == 0 {
 		return nil, fmt.Errorf("engine: empty union")
 	}

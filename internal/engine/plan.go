@@ -5,6 +5,7 @@ import (
 
 	"github.com/predcache/predcache/internal/core"
 	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/obs"
 	"github.com/predcache/predcache/internal/storage"
 )
 
@@ -16,8 +17,17 @@ type ExecCtx struct {
 	Cache    *core.Cache
 	Snapshot uint64
 	Stats    *storage.ScanStats
+	// Trace records query-lifecycle spans (per-node execute, per-slice scan,
+	// cache events) when non-nil; the disabled path costs one nil check per
+	// instrumentation point.
+	Trace *obs.Trace
 	// Parallel enables per-slice goroutines in scans.
 	Parallel bool
+	// Serial forces single-sliced scans even when Parallel is set. DB.RunCtx
+	// defaults Parallel from the database configuration, so ablation callers
+	// that need a serial scan opt out here instead of relying on the zero
+	// value of Parallel.
+	Serial bool
 	// DisableSemiJoinCache keeps semi-join filters working at run time but
 	// stops the cache from keying on them (the Figure 16 ablation).
 	DisableSemiJoinCache bool

@@ -198,3 +198,20 @@ func (r *Relation) MemBytes() int {
 	}
 	return n
 }
+
+// TextRelation builds a single string-column relation from pre-rendered
+// lines (EXPLAIN output travels through the normal result path this way, so
+// shells print it like any query result).
+func TextRelation(colName string, lines []string) *Relation {
+	dict := storage.NewDict()
+	col := RelCol{Name: colName, Type: storage.String, Dict: dict}
+	for _, ln := range lines {
+		col.Ints = append(col.Ints, dict.Code(ln))
+	}
+	rel, err := NewRelation([]RelCol{col})
+	if err != nil {
+		// A single column cannot mismatch lengths or duplicate names.
+		panic(err)
+	}
+	return rel
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/predcache/predcache/internal/bloom"
 	"github.com/predcache/predcache/internal/core"
 	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/obs"
 	"github.com/predcache/predcache/internal/storage"
 )
 
@@ -35,13 +36,21 @@ func hashString(s string) uint64 {
 	return h.Sum64()
 }
 
-// sliceScanResult is the per-slice outcome of a scan.
+// sliceScanResult is the per-slice outcome of a scan. The counters are
+// slice-local so the hot loop avoids shared atomics; Execute folds them into
+// ec.Stats (and the scan's trace span) once per scan.
 type sliceScanResult struct {
 	rel         *relBuilder
 	plainRanges []storage.RowRange // rows passing the filter (pre-bloom, pre-visibility)
 	sjRanges    []storage.RowRange // rows passing filter + semi-join filters
 	numRows     int
 	err         error
+
+	rowsScanned       int64
+	rowsQualified     int64
+	blocksAccessed    int64
+	blocksZonePruned  int64 // zone maps eliminated the block (step 1)
+	blocksCachePruned int64 // cached candidate ranges excluded the block entirely
 }
 
 // sliceBoundsProvider adapts a slice's per-block zone maps for pruning.
@@ -87,7 +96,10 @@ func newRelBuilder(tbl *storage.Table, project []string, alias string) (*relBuil
 // re-evaluates the predicate on candidates to eliminate false positives,
 // and inserts/extends cache entries from the qualifying ranges the
 // vectorized scan produced (steps 3-4).
-func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
+func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, s)
+	defer func() { endNodeSpan(sp, rel, err) }()
+
 	tbl, ok := ec.Catalog.Table(s.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown table %s", s.Table)
@@ -138,12 +150,26 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 	var cand core.Candidates
 	hit := false
 	useCache := ec.Cache != nil && ec.Cache.Enabled()
+	var statsBefore core.Stats
+	if sp.Active() && useCache {
+		statsBefore = ec.Cache.Stats()
+	}
 	if useCache && !ec.ForceCacheInsertOnly {
+		lsp := ec.Trace.Begin(obs.KindCache, "lookup")
 		keys := []string{plainKey.String()}
 		if sjKeyOK {
 			keys = append(keys, sjCacheKey.String())
 		}
 		cand, hit = ec.Cache.Best(keys)
+		if lsp.Active() {
+			if hit {
+				lsp.SetStr("outcome", "hit")
+				lsp.SetStr("entry", cand.Key)
+			} else {
+				lsp.SetStr("outcome", "miss")
+			}
+		}
+		lsp.End()
 	}
 	if ec.Stats != nil {
 		if hit {
@@ -183,6 +209,11 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 	numSlices := tbl.NumSlices()
 	results := make([]sliceScanResult, numSlices)
 	run := func(i int) {
+		var ssp obs.SpanRef
+		if ec.Trace != nil {
+			// BeginChild keeps concurrent slice spans off the nesting stack.
+			ssp = ec.Trace.BeginChild(sp, obs.KindSlice, fmt.Sprintf("slice %d", i))
+		}
 		res := &results[i]
 		slice := tbl.Slice(i)
 		res.numRows = slice.NumRows()
@@ -199,15 +230,24 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 				candidates = []storage.RowRange{{Start: 0, End: res.numRows}}
 			}
 		}
-		rb, err := newRelBuilder(tbl, project, s.Alias)
-		if err != nil {
-			res.err = err
+		rb, rbErr := newRelBuilder(tbl, project, s.Alias)
+		if rbErr != nil {
+			res.err = rbErr
+			ssp.End()
 			return
 		}
 		res.rel = rb
 		s.scanSlice(ec, tbl, slice, bound, sjs, sjKeyCols, sjMemos, candidates, res)
+		if ssp.Active() {
+			ssp.SetInt("rows.scanned", res.rowsScanned)
+			ssp.SetInt("rows.qualified", res.rowsQualified)
+			ssp.SetInt("blocks.accessed", res.blocksAccessed)
+			ssp.SetInt("blocks.pruned.zonemap", res.blocksZonePruned)
+			ssp.SetInt("blocks.pruned.cache", res.blocksCachePruned)
+		}
+		ssp.End()
 	}
-	if ec.Parallel && numSlices > 1 {
+	if ec.Parallel && !ec.Serial && numSlices > 1 {
 		var wg sync.WaitGroup
 		for i := 0; i < numSlices; i++ {
 			wg.Add(1)
@@ -229,6 +269,39 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 		}
 	}
 
+	// Fold the slice-local counters into the shared query stats in one pass
+	// (per-scan rather than per-block atomics keep the hot loop cheap).
+	var tot sliceScanResult
+	for i := range results {
+		tot.rowsScanned += results[i].rowsScanned
+		tot.rowsQualified += results[i].rowsQualified
+		tot.blocksAccessed += results[i].blocksAccessed
+		tot.blocksZonePruned += results[i].blocksZonePruned
+		tot.blocksCachePruned += results[i].blocksCachePruned
+	}
+	if ec.Stats != nil {
+		ec.Stats.RowsScanned.Add(tot.rowsScanned)
+		ec.Stats.RowsQualified.Add(tot.rowsQualified)
+		ec.Stats.BlocksAccessed.Add(tot.blocksAccessed)
+		ec.Stats.BlocksSkipped.Add(tot.blocksZonePruned)
+		ec.Stats.BlocksPrunedCache.Add(tot.blocksCachePruned)
+	}
+	if sp.Active() {
+		switch {
+		case !useCache:
+			sp.SetStr("cache", "off")
+		case hit:
+			sp.SetStr("cache", "hit")
+		default:
+			sp.SetStr("cache", "miss")
+		}
+		sp.SetInt("rows.scanned", tot.rowsScanned)
+		sp.SetInt("rows.qualified", tot.rowsQualified)
+		sp.SetInt("blocks.accessed", tot.blocksAccessed)
+		sp.SetInt("blocks.pruned.zonemap", tot.blocksZonePruned)
+		sp.SetInt("blocks.pruned.cache", tot.blocksCachePruned)
+	}
+
 	// Steps 3-4: feed the cache from the ranges the vectorized scan
 	// (performed after releasing the scan lock: cache bookkeeping reads
 	// table versions, which must not nest inside the table's read lock)
@@ -247,11 +320,17 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 		}
 		switch {
 		case !hit:
+			csp := ec.Trace.Begin(obs.KindCache, "insert")
 			ec.Cache.Insert(plainKey, tbl, epoch, nil, plainRanges, watermarks)
 			if sjKeyOK {
 				ec.Cache.Insert(sjCacheKey, tbl, epoch, sjDeps, sjRanges, watermarks)
 			}
+			if csp.Active() {
+				csp.SetStr("key", plainKey.String())
+			}
+			csp.End()
 		case !usedSJEntry:
+			csp := ec.Trace.Begin(obs.KindCache, "extend")
 			for i := range results {
 				if i >= len(cand.Watermarks) {
 					break // defensive: entry slice count mismatch
@@ -267,7 +346,12 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 			if sjKeyOK && !ec.Cache.Has(sjCacheKey.String()) {
 				ec.Cache.Insert(sjCacheKey, tbl, epoch, sjDeps, sjRanges, watermarks)
 			}
+			if csp.Active() {
+				csp.SetStr("key", plainKey.String())
+			}
+			csp.End()
 		default:
+			csp := ec.Trace.Begin(obs.KindCache, "extend")
 			for i := range results {
 				if i >= len(cand.Watermarks) {
 					break // defensive: entry slice count mismatch
@@ -277,6 +361,23 @@ func (s *Scan) Execute(ec *ExecCtx) (*Relation, error) {
 					ec.Cache.Extend(sjCacheKey.String(), i, tail, watermarks[i])
 				}
 			}
+			if csp.Active() {
+				csp.SetStr("key", sjCacheKey.String())
+			}
+			csp.End()
+		}
+	}
+	// Evictions/invalidations have no single call site inside the scan, so
+	// the span reports them as registry deltas across this execution; under
+	// concurrency another query's activity can leak into the delta, which is
+	// acceptable for a diagnostic annotation.
+	if sp.Active() && useCache {
+		after := ec.Cache.Stats()
+		if d := after.Evictions - statsBefore.Evictions; d > 0 {
+			sp.SetInt("cache.evictions", d)
+		}
+		if d := after.Invalidations - statsBefore.Invalidations; d > 0 {
+			sp.SetInt("cache.invalidations", d)
 		}
 	}
 
@@ -361,9 +462,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			return
 		}
 		loaded[ci] = true
-		if ec.Stats != nil {
-			ec.Stats.BlocksAccessed.Add(1)
-		}
+		res.blocksAccessed++
 		if tbl.ColumnType(ci) == storage.Float64 {
 			if floatScratch[ci] == nil {
 				floatScratch[ci] = make([]float64, storage.BlockSize)
@@ -424,15 +523,16 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			}
 		}
 		if len(sel) == 0 {
+			// The candidate ranges (a predicate-cache hit) excluded every row
+			// of this block: the cache saved the block outright.
+			res.blocksCachePruned++
 			continue
 		}
 
 		// Step (1 of the two-step scan): zone-map block elimination.
 		bp := sliceBoundsProvider{slice: slice, block: blk}
 		if bound.Prune(bp) {
-			if ec.Stats != nil {
-				ec.Stats.BlocksSkipped.Add(1)
-			}
+			res.blocksZonePruned++
 			continue
 		}
 
@@ -444,9 +544,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		for colIdx := range filterColIdx {
 			loadCol(blk, colIdx)
 		}
-		if ec.Stats != nil {
-			ec.Stats.RowsScanned.Add(int64(len(sel)))
-		}
+		res.rowsScanned += int64(len(sel))
 		sel = bound.Eval(ctx, sel)
 		plainRec.addSel(base, sel)
 
@@ -498,9 +596,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			}
 		}
 		sel = sel[:k]
-		if ec.Stats != nil {
-			ec.Stats.RowsQualified.Add(int64(len(sel)))
-		}
+		res.rowsQualified += int64(len(sel))
 		if len(sel) == 0 {
 			sel = sel[:cap(sel)]
 			continue

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition format (version 0.0.4): every line is a # HELP / # TYPE
+// comment, a sample `name[{labels}] value [timestamp]`, or blank; metric
+// names are legal; label values are properly quoted; sample values parse as
+// floats; a family's TYPE appears at most once and before its samples. The
+// CI smoke job and the metrics tests run every scrape through it.
+func ValidateExposition(data []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	typed := make(map[string]string)
+	seen := make(map[string]bool) // families with at least one sample
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed, seen); err != nil {
+				return fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, typed, seen); err != nil {
+			return fmt.Errorf("obs: exposition line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: exposition scan: %w", err)
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("obs: exposition contains no samples")
+	}
+	return nil
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func validateComment(line string, typed map[string]string, seen map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment: allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if seen[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		typed[name] = typ
+	}
+	return nil
+}
+
+func validateSample(line string, typed map[string]string, seen map[string]bool) error {
+	rest := line
+	// Metric name.
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' {
+		i++
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name in sample %q", line)
+	}
+	rest = rest[i:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %q: %w", line, err)
+		}
+		rest = rest[end:]
+	}
+	// Value and optional timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: bad timestamp: %w", line, err)
+		}
+	}
+	// A histogram family's samples use the _bucket/_sum/_count suffixes;
+	// map them back to the declared family for TYPE bookkeeping.
+	seen[familyName(name, typed)] = true
+	return nil
+}
+
+// familyName strips histogram/summary sample suffixes when the base name
+// has a declared TYPE.
+func familyName(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// scanLabels validates a {name="value",...} label block and returns the
+// index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// Label name.
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		lname := s[start:i]
+		if !validLabelName(lname) {
+			return 0, fmt.Errorf("invalid label name %q", lname)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", lname)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label %s: unterminated value", lname)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a cumulative-bucket histogram (Prometheus semantics: each
+// bucket counts observations less than or equal to its upper bound).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // immutable after construction
+	counts []uint64  // guarded by mu; len(bounds)+1, last is +Inf
+	sum    float64   // guarded by mu
+	n      uint64    // guarded by mu
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// DefBuckets are the default histogram bounds for query latencies in
+// seconds: 100µs to 10s, roughly ×2.5 per step.
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// metric is one registered metric of any kind.
+type metric struct {
+	name, help, typ string
+	counter         *Counter
+	counterFn       func() int64
+	gaugeFn         func() float64
+	hist            *Histogram
+}
+
+// Metrics is a registry of named metrics. Registration methods are
+// idempotent: re-registering a name of the same kind returns the existing
+// metric, so layered components (DB facade, cache, runtime) can share a
+// registry without coordination.
+type Metrics struct {
+	mu    sync.Mutex
+	order []string           // guarded by mu; registration order
+	byNam map[string]*metric // guarded by mu
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byNam: make(map[string]*metric)}
+}
+
+// pclint:held — callers hold m.mu.
+func (m *Metrics) registerLocked(name string, mt *metric) *metric {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	if old, ok := m.byNam[name]; ok {
+		if old.typ != mt.typ {
+			panic("obs: metric " + name + " re-registered as " + mt.typ + ", was " + old.typ)
+		}
+		return old
+	}
+	m.byNam[name] = mt
+	m.order = append(m.order, name)
+	return mt
+}
+
+// NewCounter registers (or returns the existing) push-style counter.
+func (m *Metrics) NewCounter(name, help string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := m.registerLocked(name, &metric{name: name, help: help, typ: "counter", counter: &Counter{}})
+	return mt.counter
+}
+
+// NewCounterFunc registers a pull-style counter: fn is read at scrape time.
+// Use for components that already maintain monotone counters internally
+// (the predicate cache's Stats), so the hot path pays nothing.
+func (m *Metrics) NewCounterFunc(name, help string, fn func() int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(name, &metric{name: name, help: help, typ: "counter", counterFn: fn})
+}
+
+// NewGauge registers a pull-style gauge read at scrape time.
+func (m *Metrics) NewGauge(name, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(name, &metric{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// NewHistogram registers (or returns the existing) histogram with the given
+// upper bounds (ascending; +Inf is implicit).
+func (m *Metrics) NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram " + name + ": bounds not ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]uint64, len(bounds)+1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mt := m.registerLocked(name, &metric{name: name, help: help, typ: "histogram", hist: h})
+	return mt.hist
+}
+
+// snapshotLocked returns the metrics in registration order.
+//
+// pclint:held — callers hold m.mu.
+func (m *Metrics) snapshotLocked() []*metric {
+	out := make([]*metric, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.byNam[name])
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	metrics := m.snapshotLocked()
+	m.mu.Unlock()
+	for _, mt := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", mt.name, escapeHelp(mt.help), mt.name, mt.typ); err != nil {
+			return fmt.Errorf("obs: write exposition: %w", err)
+		}
+		var err error
+		switch {
+		case mt.counter != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", mt.name, mt.counter.Value())
+		case mt.counterFn != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", mt.name, mt.counterFn())
+		case mt.gaugeFn != nil:
+			_, err = fmt.Fprintf(w, "%s %s\n", mt.name, formatFloat(mt.gaugeFn()))
+		case mt.hist != nil:
+			err = writeHistogram(w, mt.name, mt.hist)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: write exposition: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(bounds)]
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, formatFloat(sum), name, n)
+	return err
+}
+
+// WriteJSON renders the registry as a JSON object keyed by metric name.
+// Counters and gauges map to numbers; histograms to an object with count,
+// sum and cumulative buckets.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	metrics := m.snapshotLocked()
+	m.mu.Unlock()
+	obj := make(map[string]any, len(metrics))
+	for _, mt := range metrics {
+		switch {
+		case mt.counter != nil:
+			obj[mt.name] = mt.counter.Value()
+		case mt.counterFn != nil:
+			obj[mt.name] = mt.counterFn()
+		case mt.gaugeFn != nil:
+			obj[mt.name] = mt.gaugeFn()
+		case mt.hist != nil:
+			mt.hist.mu.Lock()
+			buckets := make(map[string]uint64, len(mt.hist.bounds)+1)
+			cum := uint64(0)
+			for i, b := range mt.hist.bounds {
+				cum += mt.hist.counts[i]
+				buckets[formatFloat(b)] = cum
+			}
+			cum += mt.hist.counts[len(mt.hist.bounds)]
+			buckets["+Inf"] = cum
+			obj[mt.name] = map[string]any{"count": mt.hist.n, "sum": mt.hist.sum, "buckets": buckets}
+			mt.hist.mu.Unlock()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(obj); err != nil {
+		return fmt.Errorf("obs: write json metrics: %w", err)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

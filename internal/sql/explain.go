@@ -1,0 +1,36 @@
+package sql
+
+import "strings"
+
+// StripExplain recognizes an EXPLAIN [ANALYZE] prefix on a query and returns
+// the remaining statement text. The keywords are matched case-insensitively
+// as whole words, so predicates containing the letters are unaffected.
+func StripExplain(query string) (explain, analyze bool, rest string) {
+	rest = strings.TrimSpace(query)
+	word, tail := nextWord(rest)
+	if !strings.EqualFold(word, "explain") {
+		return false, false, rest
+	}
+	explain = true
+	rest = tail
+	word, tail = nextWord(rest)
+	if strings.EqualFold(word, "analyze") {
+		analyze = true
+		rest = tail
+	}
+	return explain, analyze, rest
+}
+
+// nextWord splits off the leading identifier-like word.
+func nextWord(s string) (word, rest string) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' {
+			i++
+			continue
+		}
+		break
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}

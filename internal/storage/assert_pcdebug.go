@@ -68,3 +68,15 @@ func assertSliceMVCC(s *Slice, ctx string) {
 		assertMVCCRow(s.insertXID[row], s.deleteXID[row], row, ctx)
 	}
 }
+
+// assertRowsInSlice panics unless every captured physical row number is
+// within the slice's current row count. Epoch-checked DML relies on this: a
+// matching layout epoch guarantees captured row numbers still address the
+// rows they matched.
+func assertRowsInSlice(rows []int, numRows int, ctx string) {
+	for _, r := range rows {
+		if r < 0 || r >= numRows {
+			panic(fmt.Sprintf("pcdebug: %s: row %d out of bounds for slice with %d rows", ctx, r, numRows))
+		}
+	}
+}

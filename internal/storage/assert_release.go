@@ -10,8 +10,9 @@ const AssertionsEnabled = false
 // AssertRowRanges is a no-op without the pcdebug build tag.
 func AssertRowRanges(ranges []RowRange, limit int, ctx string) {}
 
-func assertZoneMapInt(min, max int64, ctx string)        {}
-func assertZoneMapFloat(min, max float64, ctx string)    {}
-func assertMVCCRow(ins, del uint64, row int, ctx string) {}
-func assertMVCCHeaders(s *Slice, ctx string)             {}
-func assertSliceMVCC(s *Slice, ctx string)               {}
+func assertZoneMapInt(min, max int64, ctx string)           {}
+func assertZoneMapFloat(min, max float64, ctx string)       {}
+func assertMVCCRow(ins, del uint64, row int, ctx string)    {}
+func assertMVCCHeaders(s *Slice, ctx string)                {}
+func assertSliceMVCC(s *Slice, ctx string)                  {}
+func assertRowsInSlice(rows []int, numRows int, ctx string) {}

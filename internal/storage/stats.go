@@ -4,16 +4,20 @@ import "sync/atomic"
 
 // ScanStats accumulates the counters the paper's evaluation reports per
 // query (Table 4): rows scanned (rows the vectorized filter actually
-// evaluated) and blocks accessed (per-column block decompressions). Blocks
-// skipped counts blocks eliminated before access — by zone maps or by the
-// predicate cache. Safe for concurrent use by parallel slice scans.
+// evaluated) and blocks accessed (per-column block decompressions). Block
+// elimination is split by mechanism: BlocksSkipped counts row blocks pruned
+// by zone maps after the candidate set still included them, while
+// BlocksPrunedCache counts row blocks a predicate-cache hit excluded from
+// the candidate ranges entirely (the blocks the cache saved). Safe for
+// concurrent use by parallel slice scans.
 type ScanStats struct {
-	RowsScanned    atomic.Int64
-	RowsQualified  atomic.Int64
-	BlocksAccessed atomic.Int64
-	BlocksSkipped  atomic.Int64
-	CacheHits      atomic.Int64
-	CacheMisses    atomic.Int64
+	RowsScanned       atomic.Int64
+	RowsQualified     atomic.Int64
+	BlocksAccessed    atomic.Int64
+	BlocksSkipped     atomic.Int64
+	BlocksPrunedCache atomic.Int64
+	CacheHits         atomic.Int64
+	CacheMisses       atomic.Int64
 }
 
 // Add merges other into s.
@@ -22,6 +26,7 @@ func (s *ScanStats) Add(other *ScanStats) {
 	s.RowsQualified.Add(other.RowsQualified.Load())
 	s.BlocksAccessed.Add(other.BlocksAccessed.Load())
 	s.BlocksSkipped.Add(other.BlocksSkipped.Load())
+	s.BlocksPrunedCache.Add(other.BlocksPrunedCache.Load())
 	s.CacheHits.Add(other.CacheHits.Load())
 	s.CacheMisses.Add(other.CacheMisses.Load())
 }
@@ -29,21 +34,23 @@ func (s *ScanStats) Add(other *ScanStats) {
 // Snapshot returns a plain-struct copy for reporting.
 func (s *ScanStats) Snapshot() ScanStatsSnapshot {
 	return ScanStatsSnapshot{
-		RowsScanned:    s.RowsScanned.Load(),
-		RowsQualified:  s.RowsQualified.Load(),
-		BlocksAccessed: s.BlocksAccessed.Load(),
-		BlocksSkipped:  s.BlocksSkipped.Load(),
-		CacheHits:      s.CacheHits.Load(),
-		CacheMisses:    s.CacheMisses.Load(),
+		RowsScanned:       s.RowsScanned.Load(),
+		RowsQualified:     s.RowsQualified.Load(),
+		BlocksAccessed:    s.BlocksAccessed.Load(),
+		BlocksSkipped:     s.BlocksSkipped.Load(),
+		BlocksPrunedCache: s.BlocksPrunedCache.Load(),
+		CacheHits:         s.CacheHits.Load(),
+		CacheMisses:       s.CacheMisses.Load(),
 	}
 }
 
 // ScanStatsSnapshot is an immutable copy of ScanStats.
 type ScanStatsSnapshot struct {
-	RowsScanned    int64
-	RowsQualified  int64
-	BlocksAccessed int64
-	BlocksSkipped  int64
-	CacheHits      int64
-	CacheMisses    int64
+	RowsScanned       int64
+	RowsQualified     int64
+	BlocksAccessed    int64
+	BlocksSkipped     int64
+	BlocksPrunedCache int64
+	CacheHits         int64
+	CacheMisses       int64
 }

@@ -34,6 +34,13 @@ func NewBatch(schema Schema) *Batch {
 type Table struct {
 	mu sync.RWMutex
 
+	// layoutGate serializes layout changes (Vacuum) against DML statements
+	// that need the layout stable across a match/mutate pair. Vacuum holds it
+	// for the whole reorganization; LockLayout exposes it as the pessimistic
+	// fallback after optimistic epoch-checked DML keeps losing to concurrent
+	// vacuums. Lock order: layoutGate before mu, never the reverse.
+	layoutGate sync.Mutex
+
 	// name, schema, colIdx and sortKey are immutable after NewTable. The
 	// dicts and slices slice headers are also fixed at construction: only
 	// their *contents* change, under mu (scans read them under RLockScan).
@@ -339,6 +346,8 @@ func (t *Table) BumpVersion() {
 // numbers change, so the layout epoch is bumped — the event that invalidates
 // predicate-cache entries (§4.3.2).
 func (t *Table) Vacuum(horizon uint64) {
+	t.layoutGate.Lock()
+	defer t.layoutGate.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 

@@ -1,0 +1,92 @@
+package predcache
+
+import (
+	"time"
+
+	"github.com/predcache/predcache/internal/obs"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// NewMetrics creates an empty metrics registry to pass to EnableMetrics;
+// serve it with obs.Handler/StartServer (cmd/pcsh shows the wiring) or dump
+// it with WritePrometheus/WriteJSON.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// queryMetrics holds the push-style instruments fed after every query; it is
+// nil until EnableMetrics installs one, and the nil receiver records nothing.
+type queryMetrics struct {
+	queries        *obs.Counter
+	errors         *obs.Counter
+	seconds        *obs.Histogram
+	rowsScanned    *obs.Counter
+	rowsQualified  *obs.Counter
+	blocksAccessed *obs.Counter
+	blocksZone     *obs.Counter
+	blocksCache    *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+}
+
+// EnableMetrics registers the database's instruments on m and starts feeding
+// them: query counters and a latency histogram (pushed per query), table
+// gauges and predicate-cache counters (pulled at scrape time). Call once per
+// registry, before serving it; WithMetrics does the same at Open.
+func (db *DB) EnableMetrics(m *obs.Metrics) {
+	qm := &queryMetrics{
+		queries:        m.NewCounter("predcache_queries_total", "Queries executed (including failed ones)."),
+		errors:         m.NewCounter("predcache_query_errors_total", "Queries that returned an error."),
+		seconds:        m.NewHistogram("predcache_query_seconds", "Query wall time.", obs.DefBuckets),
+		rowsScanned:    m.NewCounter("predcache_rows_scanned_total", "Rows the vectorized filter evaluated."),
+		rowsQualified:  m.NewCounter("predcache_rows_qualified_total", "Rows passing filters and visibility."),
+		blocksAccessed: m.NewCounter("predcache_blocks_accessed_total", "Column blocks decompressed."),
+		blocksZone:     m.NewCounter("predcache_blocks_pruned_zonemap_total", "Row blocks eliminated by zone maps."),
+		blocksCache:    m.NewCounter("predcache_blocks_pruned_cache_total", "Row blocks excluded by predicate-cache hits."),
+		cacheHits:      m.NewCounter("predcache_scan_cache_hits_total", "Scans served from a predicate-cache entry."),
+		cacheMisses:    m.NewCounter("predcache_scan_cache_misses_total", "Scans that missed the predicate cache."),
+	}
+	m.NewGauge("predcache_tables", "Tables in the catalog.", func() float64 {
+		return float64(len(db.cat.TableNames()))
+	})
+	m.NewGauge("predcache_table_rows", "Physical rows across all tables.", func() float64 {
+		n := 0
+		for _, name := range db.cat.TableNames() {
+			if tbl, ok := db.cat.Table(name); ok {
+				n += tbl.NumRows()
+			}
+		}
+		return float64(n)
+	})
+	m.NewGauge("predcache_table_mem_bytes", "Memory held by table data.", func() float64 {
+		n := 0
+		for _, name := range db.cat.TableNames() {
+			if tbl, ok := db.cat.Table(name); ok {
+				n += tbl.MemBytes()
+			}
+		}
+		return float64(n)
+	})
+	if db.cache != nil {
+		db.cache.RegisterMetrics(m)
+	}
+	db.metrics.Store(qm)
+}
+
+// record feeds one query execution into the instruments.
+func (qm *queryMetrics) record(d time.Duration, snap storage.ScanStatsSnapshot, err error) {
+	if qm == nil {
+		return
+	}
+	qm.queries.Inc()
+	if err != nil {
+		qm.errors.Inc()
+		return
+	}
+	qm.seconds.Observe(d.Seconds())
+	qm.rowsScanned.Add(snap.RowsScanned)
+	qm.rowsQualified.Add(snap.RowsQualified)
+	qm.blocksAccessed.Add(snap.BlocksAccessed)
+	qm.blocksZone.Add(snap.BlocksSkipped)
+	qm.blocksCache.Add(snap.BlocksPrunedCache)
+	qm.cacheHits.Add(snap.CacheHits)
+	qm.cacheMisses.Add(snap.CacheMisses)
+}

@@ -19,11 +19,15 @@ package predcache
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/predcache/predcache/internal/core"
 	"github.com/predcache/predcache/internal/engine"
 	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/obs"
 	"github.com/predcache/predcache/internal/sql"
 	"github.com/predcache/predcache/internal/storage"
 )
@@ -46,6 +50,10 @@ type (
 	CacheStats = core.Stats
 	// QueryStats reports per-query scan counters.
 	QueryStats = storage.ScanStatsSnapshot
+	// ExecCtx is the execution context accepted by RunCtx.
+	ExecCtx = engine.ExecCtx
+	// Metrics is the counter/gauge/histogram registry fed by EnableMetrics.
+	Metrics = obs.Metrics
 	// Pred is a filter predicate (for DeleteWhere / UpdateWhere).
 	Pred = expr.Pred
 )
@@ -77,6 +85,10 @@ type DB struct {
 	slices   int
 	parallel bool
 	last     storage.ScanStatsSnapshot // guarded by mu
+
+	// metrics is nil until EnableMetrics installs the registered instruments;
+	// queries load it once per execution.
+	metrics atomic.Pointer[queryMetrics]
 }
 
 // Option configures Open.
@@ -101,6 +113,13 @@ func WithSlices(n int) Option {
 // WithParallelScans toggles per-slice scan goroutines (default on).
 func WithParallelScans(v bool) Option {
 	return func(db *DB) { db.parallel = v }
+}
+
+// WithMetrics registers the database's instruments on m at Open (see
+// EnableMetrics). Pass it after any cache-configuration options so the cache
+// counters bind to the cache the database actually uses.
+func WithMetrics(m *obs.Metrics) Option {
+	return func(db *DB) { db.EnableMetrics(m) }
 }
 
 // Open creates an empty in-memory database.
@@ -151,48 +170,134 @@ func (db *DB) Load(table string, batch *Batch) error {
 	return tbl.SortedLoad(batch, db.cat.NextXID())
 }
 
+// dmlEpochRetries bounds how often DeleteWhere/UpdateWhere re-match rows
+// after a concurrent Vacuum renumbered the table between match and mutate.
+// After that many lost races the statement takes the table's layout gate
+// (blocking further vacuums) and finishes pessimistically, so DML always
+// makes progress even against a back-to-back vacuum loop.
+const dmlEpochRetries = 4
+
 // DeleteWhere marks all rows matching pred as deleted (out-of-place MVCC
 // delete; row numbers do not change, so predicate-cache entries stay valid).
-// It returns the number of deleted rows.
+// It returns the number of rows this statement deleted (rows a concurrent
+// statement deleted first are not counted twice).
 func (db *DB) DeleteWhere(table string, pred Pred) (int, error) {
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
 	}
-	rows, err := db.matchRows(tbl, pred)
+	for attempt := 0; attempt < dmlEpochRetries; attempt++ {
+		n, ok, err := db.tryDeleteWhere(tbl, table, pred)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return n, nil
+		}
+		// A vacuum renumbered the rows between match and mutate: re-match.
+	}
+	unlock := tbl.LockLayout() // exclude vacuums: the epoch cannot change now
+	defer unlock()
+	n, ok, err := db.tryDeleteWhere(tbl, table, pred)
 	if err != nil {
 		return 0, err
 	}
-	xid := db.cat.NextXID()
+	if !ok {
+		return 0, fmt.Errorf("predcache: delete from %s: table layout changed while the layout gate was held", table)
+	}
+	return n, nil
+}
+
+// tryDeleteWhere runs one optimistic match/mutate attempt. ok reports
+// whether the attempt committed; false means a concurrent vacuum renumbered
+// the rows in between and the caller should retry.
+func (db *DB) tryDeleteWhere(tbl *storage.Table, table string, pred Pred) (int, bool, error) {
+	rows, epoch, err := db.matchRows(tbl, pred)
+	if err != nil {
+		return 0, false, fmt.Errorf("predcache: delete from %s: %w", table, err)
+	}
 	total := 0
-	for slice, rs := range rows {
-		if len(rs) > 0 {
-			tbl.DeleteRows(slice, rs, xid)
-			total += len(rs)
-		}
+	for _, rs := range rows {
+		total += len(rs)
 	}
 	if total == 0 {
 		tbl.BumpVersion() // the statement still invalidates result caches
+		return 0, true, nil
 	}
-	return total, nil
+	n, ok := tbl.DeleteRowsAtEpoch(rows, db.cat.NextXID(), epoch)
+	return n, ok, nil
 }
 
 // UpdateWhere implements out-of-place updates (§4.3.3): matching rows are
-// deleted and re-inserted with apply() mutating a columnar copy. Returns the
-// number of updated rows.
+// deleted and re-inserted with apply() mutating a columnar copy. The delete
+// and append commit atomically — a failed append (e.g. apply produced
+// mismatched column lengths) leaves the table unchanged. apply may run more
+// than once if a concurrent Vacuum forces a re-match; it always receives a
+// freshly materialized batch. Returns the number of updated rows.
 func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, error) {
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
 	}
-	rows, err := db.matchRows(tbl, pred)
+	for attempt := 0; attempt < dmlEpochRetries; attempt++ {
+		n, ok, err := db.tryUpdateWhere(tbl, table, pred, apply)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return n, nil
+		}
+		// Vacuumed between match and materialize/mutate: re-match.
+	}
+	unlock := tbl.LockLayout() // exclude vacuums: the epoch cannot change now
+	defer unlock()
+	n, ok, err := db.tryUpdateWhere(tbl, table, pred, apply)
 	if err != nil {
 		return 0, err
 	}
-	// Materialize the matching rows columnar.
+	if !ok {
+		return 0, fmt.Errorf("predcache: update %s: table layout changed while the layout gate was held", table)
+	}
+	return n, nil
+}
+
+// tryUpdateWhere runs one optimistic match/materialize/mutate attempt. ok
+// reports whether the attempt committed; false means a concurrent vacuum
+// invalidated the captured row numbers and the caller should retry. A
+// non-nil error is terminal (the table is unchanged).
+func (db *DB) tryUpdateWhere(tbl *storage.Table, table string, pred Pred, apply func(b *Batch)) (int, bool, error) {
+	rows, epoch, err := db.matchRows(tbl, pred)
+	if err != nil {
+		return 0, false, fmt.Errorf("predcache: update %s: %w", table, err)
+	}
+	nb, ok := db.materializeRows(tbl, rows, epoch)
+	if !ok {
+		return 0, false, nil
+	}
+	if nb.N == 0 {
+		tbl.BumpVersion()
+		return 0, true, nil
+	}
+	apply(nb)
+	ok, err = tbl.UpdateRowsAtEpoch(rows, nb, db.cat.NextXID(), epoch)
+	if err != nil {
+		return 0, false, fmt.Errorf("predcache: update %s: %w", table, err)
+	}
+	return nb.N, ok, nil
+}
+
+// materializeRows copies the captured rows into a columnar batch. It
+// re-checks the layout epoch under the same read lock as the copy: the row
+// numbers in rows are only meaningful at that epoch, and reading them after
+// a vacuum would materialize arbitrary other rows' values.
+func (db *DB) materializeRows(tbl *storage.Table, rows [][]int, epoch uint64) (*storage.Batch, bool) {
 	schema := tbl.Schema()
 	nb := storage.NewBatch(schema)
-	unlock := tbl.RLockScan()
+	unlock, cur := tbl.RLockScanEpoch()
+	defer unlock()
+	if cur != epoch {
+		return nil, false
+	}
 	iScratch := make([]int64, storage.BlockSize)
 	fScratch := make([]float64, storage.BlockSize)
 	for slice, rs := range rows {
@@ -212,36 +317,23 @@ func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, e
 			nb.N++
 		}
 	}
-	unlock()
-	if nb.N == 0 {
-		tbl.BumpVersion()
-		return 0, nil
-	}
-	apply(nb)
-	xid := db.cat.NextXID()
-	for slice, rs := range rows {
-		if len(rs) > 0 {
-			tbl.DeleteRows(slice, rs, xid)
-		}
-	}
-	if err := tbl.Append(nb, xid); err != nil {
-		return 0, err
-	}
-	return nb.N, nil
+	return nb, true
 }
 
-// matchRows evaluates pred per slice and returns visible matching row
-// numbers.
-func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, error) {
+// matchRows evaluates pred per slice and returns visible matching physical
+// row numbers plus the layout epoch they were captured at. The row numbers
+// are only valid while the table's layout epoch still equals the returned
+// one; mutate through the AtEpoch table methods.
+func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, uint64, error) {
 	if pred == nil {
 		pred = expr.TruePred{}
 	}
 	snapshot := db.cat.Snapshot()
-	unlock := tbl.RLockScan()
+	unlock, epoch := tbl.RLockScanEpoch()
 	defer unlock()
 	bound, err := expr.Bind(pred, tbl)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	numCols := len(tbl.Schema())
 	dicts := make([]*storage.Dict, numCols)
@@ -295,7 +387,7 @@ func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, error) {
 			sel = sel[:cap(sel)]
 		}
 	}
-	return out, nil
+	return out, epoch, nil
 }
 
 // Vacuum reclaims deleted rows and re-sorts the table; this changes physical
@@ -309,8 +401,24 @@ func (db *DB) Vacuum(table string) error {
 	return nil
 }
 
-// Query parses, plans and executes a SELECT statement.
+// Query parses, plans and executes a SELECT statement. Statements prefixed
+// with EXPLAIN return the plan as a one-column text result; EXPLAIN ANALYZE
+// additionally executes the statement and annotates the plan with wall
+// times, cardinalities and per-scan cache outcomes.
 func (db *DB) Query(query string) (*Result, error) {
+	if explain, analyze, rest := sql.StripExplain(query); explain {
+		var text string
+		var err error
+		if analyze {
+			text, err = db.ExplainAnalyze(rest)
+		} else {
+			text, err = db.Explain(rest)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return engine.TextRelation("plan", strings.Split(strings.TrimRight(text, "\n"), "\n")), nil
+	}
 	node, err := sql.PlanSQL(query, db.cat)
 	if err != nil {
 		return nil, err
@@ -318,28 +426,40 @@ func (db *DB) Query(query string) (*Result, error) {
 	return db.Run(node)
 }
 
-// Run executes a prepared plan.
-func (db *DB) Run(node engine.Node) (*Result, error) {
-	stats := &storage.ScanStats{}
-	ec := &engine.ExecCtx{
-		Catalog:  db.cat,
-		Cache:    db.cache,
-		Snapshot: db.cat.Snapshot(),
-		Stats:    stats,
-		Parallel: db.parallel,
-	}
+// runInternal is the shared execution tail of Run, RunCtx and
+// ExplainAnalyze: it times the execution, feeds the registered metrics, and
+// saves the stats snapshot behind LastQueryStats.
+func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
+	start := time.Now()
 	rel, err := node.Execute(ec)
+	snap := ec.Stats.Snapshot()
+	db.metrics.Load().record(time.Since(start), snap, err)
 	if err != nil {
 		return nil, err
 	}
 	db.mu.Lock()
-	db.last = stats.Snapshot()
+	db.last = snap
 	db.mu.Unlock()
 	return rel, nil
 }
 
+// Run executes a prepared plan.
+func (db *DB) Run(node engine.Node) (*Result, error) {
+	ec := &engine.ExecCtx{
+		Catalog:  db.cat,
+		Cache:    db.cache,
+		Snapshot: db.cat.Snapshot(),
+		Stats:    &storage.ScanStats{},
+		Parallel: db.parallel,
+	}
+	return db.runInternal(node, ec)
+}
+
 // RunCtx executes a plan with a caller-provided execution context (the
-// benchmark harness uses this for ablation switches).
+// benchmark harness uses this for ablation switches). Zero-valued fields are
+// defaulted from the database: catalog, snapshot, stats, and — matching Run —
+// scan parallelism. Callers that need a serial scan set ec.Serial rather
+// than relying on the Parallel zero value.
 func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 	if ec.Catalog == nil {
 		ec.Catalog = db.cat
@@ -350,14 +470,53 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 	if ec.Stats == nil {
 		ec.Stats = &storage.ScanStats{}
 	}
-	rel, err := node.Execute(ec)
-	if err != nil {
-		return nil, err
+	if !ec.Parallel && !ec.Serial {
+		ec.Parallel = db.parallel
 	}
-	db.mu.Lock()
-	db.last = ec.Stats.Snapshot()
-	db.mu.Unlock()
-	return rel, nil
+	return db.runInternal(node, ec)
+}
+
+// ExplainAnalyze executes query with tracing enabled and renders the span
+// tree: parse/plan/execute phases, every plan operator with its wall time
+// and cardinalities, scans with their block-elimination breakdown (zone maps
+// vs predicate cache) and cache outcome, and cache/slice events beneath the
+// scans that produced them. A totals line mirrors LastQueryStats.
+func (db *DB) ExplainAnalyze(query string) (string, error) {
+	tr := obs.NewTrace()
+	psp := tr.Begin(obs.KindPhase, "parse")
+	stmt, err := sql.Parse(query)
+	psp.End()
+	if err != nil {
+		return "", err
+	}
+	lsp := tr.Begin(obs.KindPhase, "plan")
+	node, err := sql.Plan(stmt, db.cat)
+	lsp.End()
+	if err != nil {
+		return "", err
+	}
+	ec := &engine.ExecCtx{
+		Catalog:  db.cat,
+		Cache:    db.cache,
+		Snapshot: db.cat.Snapshot(),
+		Stats:    &storage.ScanStats{},
+		Parallel: db.parallel,
+		Trace:    tr,
+	}
+	esp := tr.Begin(obs.KindPhase, "execute")
+	rel, err := db.runInternal(node, ec)
+	esp.End()
+	if err != nil {
+		return "", err
+	}
+	snap := ec.Stats.Snapshot()
+	var b strings.Builder
+	b.WriteString(engine.RenderAnalyze(tr))
+	fmt.Fprintf(&b, "result: %d rows\n", rel.NumRows())
+	fmt.Fprintf(&b, "totals: rows scanned=%d qualified=%d; blocks accessed=%d pruned(zonemap)=%d pruned(cache)=%d; cache hits=%d misses=%d\n",
+		snap.RowsScanned, snap.RowsQualified, snap.BlocksAccessed,
+		snap.BlocksSkipped, snap.BlocksPrunedCache, snap.CacheHits, snap.CacheMisses)
+	return b.String(), nil
 }
 
 // Plan parses and plans a SELECT without executing it.

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# metrics_smoke.sh: end-to-end check of the pcsh -metrics endpoint.
+# Builds pcsh and pcsmoke, starts the shell with a tiny SSB dataset and a
+# metrics listener, runs one query through it, then validates the Prometheus
+# exposition (format + required metric families) with pcsmoke.
+set -eu
+
+ADDR="${METRICS_ADDR:-127.0.0.1:9187}"
+BIN="$(mktemp -d)"
+trap 'kill "$PCSH_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/pcsh" ./cmd/pcsh
+go build -o "$BIN/pcsmoke" ./cmd/pcsmoke
+
+# Feed one query, then keep stdin open long enough for the probe to run.
+{
+    printf 'select count(*) from lineorder;\n'
+    sleep 30
+} | "$BIN/pcsh" -dataset ssb -sf 0.005 -metrics "$ADDR" &
+PCSH_PID=$!
+
+"$BIN/pcsmoke" -retries 60 -delay 500ms \
+    -require "predcache_queries_total,predcache_cache_hits_total,go_goroutines" \
+    "http://$ADDR/metrics"
+
+kill "$PCSH_PID" 2>/dev/null || true
+wait "$PCSH_PID" 2>/dev/null || true
+echo "metrics smoke: OK"
