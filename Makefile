@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress test-debug vet lint smoke check clean
+.PHONY: all build test race stress test-debug vet lint smoke bench-smoke check clean
 
 all: build
 
@@ -21,8 +21,11 @@ race:
 
 # Just the DML-vs-vacuum and concurrency stress tests, under the race
 # detector with the pcdebug assertions compiled in — the harshest setting.
+# The kernel equivalence oracles ride along: they hammer the pooled scan
+# scratch and the encoded/decoded split from many goroutines.
 stress:
-	$(GO) test -race -tags pcdebug -run 'TestDMLVacuumRace|TestConcurrentQueriesAndDML|TestRaceStressParallelScans' -count=2 .
+	$(GO) test -race -tags pcdebug -run 'TestDMLVacuumRace|TestConcurrentQueriesAndDML|TestRaceStressParallelScans|TestKernel' -count=2 .
+	$(GO) test -race -tags pcdebug -run 'TestKernel|TestEvalPredRanges|TestReadIntRange|TestReadFloatRange' ./internal/storage ./internal/expr
 
 # Tests with the pcdebug build tag: runtime invariant assertions (row-range
 # shape, zone-map bounds, MVCC monotonicity) are compiled in and panic on
@@ -44,8 +47,13 @@ lint:
 smoke:
 	./scripts/metrics_smoke.sh
 
+# One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
+# the benchmark harness without paying full measurement time.
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x .
+
 # Everything CI runs.
-check: build vet lint test race stress test-debug smoke
+check: build vet lint test race stress test-debug bench-smoke smoke
 
 clean:
 	$(GO) clean ./...

@@ -30,8 +30,9 @@ func planText(t *testing.T, db *predcache.DB, query string) string {
 func assertTotalsMatch(t *testing.T, db *predcache.DB, out string) {
 	t.Helper()
 	st := db.LastQueryStats()
-	want := fmt.Sprintf("totals: rows scanned=%d qualified=%d; blocks accessed=%d pruned(zonemap)=%d pruned(cache)=%d; cache hits=%d misses=%d",
-		st.RowsScanned, st.RowsQualified, st.BlocksAccessed,
+	want := fmt.Sprintf("totals: rows scanned=%d qualified=%d decoded=%d; blocks accessed=%d decoded=%d kernel(encoded)=%d pruned(zonemap)=%d pruned(cache)=%d; cache hits=%d misses=%d",
+		st.RowsScanned, st.RowsQualified, st.RowsDecoded,
+		st.BlocksAccessed, st.BlocksDecoded, st.BlocksKernel,
 		st.BlocksSkipped, st.BlocksPrunedCache, st.CacheHits, st.CacheMisses)
 	if !strings.Contains(out, want) {
 		t.Fatalf("totals line does not match LastQueryStats\nwant: %s\ngot:\n%s", want, out)
@@ -75,5 +76,38 @@ func TestExplainAnalyzeConsistency(t *testing.T) {
 	}
 	if after := db.LastQueryStats(); after != before {
 		t.Fatalf("plain EXPLAIN changed LastQueryStats: %+v -> %+v", before, after)
+	}
+}
+
+// TestExplainAnalyzeKernelBreakdown checks that a warm query over an int
+// predicate reports the encoded-kernel split: the scan line carries the
+// kernels(decoded=… encoded=…) annotation, the kernel counter is non-zero
+// (the filter ran on compressed blocks), and decoded blocks stay below
+// accessed blocks (partial decode skipped full materialization).
+func TestExplainAnalyzeKernelBreakdown(t *testing.T) {
+	db := openWithData(t, 4000)
+	// sum(val) projects a different column than the filter touches, so the
+	// id blocks are kernel-only (never decompressed) while val is partially
+	// decoded for the qualifying rows.
+	const q = "select sum(val) as s from t where id between 1200 and 1800"
+
+	planText(t, db, "explain analyze "+q) // cold: populate the cache
+	warm := planText(t, db, "EXPLAIN ANALYZE "+q)
+	if !strings.Contains(warm, "cache=hit") {
+		t.Fatalf("warm run did not report a cache hit:\n%s", warm)
+	}
+	if !strings.Contains(warm, "kernels(decoded=") {
+		t.Fatalf("warm run missing the kernel breakdown annotation:\n%s", warm)
+	}
+	assertTotalsMatch(t, db, warm)
+	st := db.LastQueryStats()
+	if st.BlocksKernel == 0 {
+		t.Fatalf("warm int-predicate scan evaluated no encoded kernels: %+v", st)
+	}
+	if st.BlocksDecoded >= st.BlocksAccessed {
+		t.Fatalf("partial decode saved nothing: decoded=%d accessed=%d", st.BlocksDecoded, st.BlocksAccessed)
+	}
+	if st.RowsDecoded == 0 || st.RowsDecoded > st.RowsScanned {
+		t.Fatalf("rows.decoded should be positive and at most rows.scanned: %+v", st)
 	}
 }

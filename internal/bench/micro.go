@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	predcache "github.com/predcache/predcache"
+)
+
+// MicroResult is one machine-readable micro-benchmark measurement. pcbench
+// -json emits a list of these so scripts/bench_compare.sh can record a
+// performance baseline per PR and diff two recordings.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// RowsScanned is the per-query rows-scanned counter of one extra
+	// post-timing execution (0 for harness experiments that run many queries).
+	RowsScanned int64 `json:"rows_scanned"`
+}
+
+// microBenchDB builds the clustered single-table database the scan
+// micro-benchmarks share (same shape as bench_test.go's benchDB).
+func microBenchDB(rows int, opts ...predcache.Option) (*predcache.DB, error) {
+	db := predcache.Open(opts...)
+	schema := predcache.Schema{
+		{Name: "id", Type: predcache.Int64},
+		{Name: "grp", Type: predcache.String},
+		{Name: "val", Type: predcache.Float64},
+	}
+	if err := db.CreateTable("t", schema); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(1))
+	batch := predcache.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		batch.Cols[0].Ints = append(batch.Cols[0].Ints, int64(i))
+		batch.Cols[1].Strings = append(batch.Cols[1].Strings, fmt.Sprintf("g%02d", (i/4000)%25))
+		batch.Cols[2].Floats = append(batch.Cols[2].Floats, float64(r.Intn(10000))/100)
+	}
+	batch.N = rows
+	if err := db.Insert("t", batch); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+const microScanQuery = "select count(*) as n from t where grp = 'g07' and val > 50"
+
+// microPointQuery is a highly selective warm-hit probe: the cached candidate
+// ranges cover a handful of rows, so partial decode dominates the win.
+const microPointQuery = "select id, val from t where id = 123456"
+
+// microCase is one named scan micro-benchmark.
+type microCase struct {
+	name string
+	// setup returns the per-iteration body plus the db used (for the
+	// rows-scanned probe).
+	setup func() (func() error, *predcache.DB, error)
+}
+
+func microCases() []microCase {
+	const rows = 400000
+	return []microCase{
+		{name: "ScanCold", setup: func() (func() error, *predcache.DB, error) {
+			db, err := microBenchDB(rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan, err := db.Plan(microScanQuery)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() error {
+				db.PredicateCache().Clear()
+				_, err := db.Run(plan)
+				return err
+			}, db, nil
+		}},
+		{name: "ScanWarm", setup: func() (func() error, *predcache.DB, error) {
+			db, err := microBenchDB(rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan, err := db.Plan(microScanQuery)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := db.Run(plan); err != nil {
+				return nil, nil, err
+			}
+			return func() error {
+				_, err := db.Run(plan)
+				return err
+			}, db, nil
+		}},
+		{name: "ScanWarmPoint", setup: func() (func() error, *predcache.DB, error) {
+			db, err := microBenchDB(rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			plan, err := db.Plan(microPointQuery)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := db.Run(plan); err != nil {
+				return nil, nil, err
+			}
+			return func() error {
+				_, err := db.Run(plan)
+				return err
+			}, db, nil
+		}},
+		{name: "ScanNoCache", setup: func() (func() error, *predcache.DB, error) {
+			db, err := microBenchDB(rows, predcache.WithoutPredicateCache())
+			if err != nil {
+				return nil, nil, err
+			}
+			plan, err := db.Plan(microScanQuery)
+			if err != nil {
+				return nil, nil, err
+			}
+			return func() error {
+				_, err := db.Run(plan)
+				return err
+			}, db, nil
+		}},
+		{name: "Table4TPCHSkewed", setup: func() (func() error, *predcache.DB, error) {
+			cfg := FastConfig()
+			return func() error {
+				return NewRunner(cfg, io.Discard).Run("table4")
+			}, nil, nil
+		}},
+	}
+}
+
+// RunMicro executes the scan micro-benchmark suite with testing.Benchmark
+// and returns the measurements. Failures surface as an error rather than
+// aborting, so a broken case does not lose the rest of the recording.
+func RunMicro(progress io.Writer) ([]MicroResult, error) {
+	var out []MicroResult
+	for _, mc := range microCases() {
+		body, db, err := mc.setup()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s setup: %w", mc.name, err)
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := body(); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("bench: %s: %w", mc.name, benchErr)
+		}
+		res := MicroResult{
+			Name:        mc.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if db != nil {
+			// One extra execution outside the timing loop to sample the
+			// per-query scan counters.
+			if err := body(); err == nil {
+				res.RowsScanned = db.LastQueryStats().RowsScanned
+			}
+		}
+		out = append(out, res)
+		if progress != nil {
+			fmt.Fprintf(progress, "%-20s %12.0f ns/op %8d allocs/op %10d B/op\n",
+				res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		}
+	}
+	return out, nil
+}
+
+// WriteMicroJSON renders results as a JSON array with one element per line,
+// a shape both encoding/json and line-oriented shell tooling can read.
+func WriteMicroJSON(w io.Writer, results []MicroResult) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, r := range results {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		sep := ","
+		if i == len(results)-1 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", line, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// CompareMicroJSON reads two recordings produced by WriteMicroJSON and
+// renders a per-benchmark delta table (new vs old).
+func CompareMicroJSON(oldData, newData []byte) (string, error) {
+	var oldRes, newRes []MicroResult
+	if err := json.Unmarshal(oldData, &oldRes); err != nil {
+		return "", fmt.Errorf("bench: old recording: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newRes); err != nil {
+		return "", fmt.Errorf("bench: new recording: %w", err)
+	}
+	oldBy := make(map[string]MicroResult, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	var names []string
+	newBy := make(map[string]MicroResult, len(newRes))
+	for _, r := range newRes {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old->new")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-20s %14s %14.0f %8s %9s->%d\n", name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %+7.1f%% %9d->%d\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	return b.String(), nil
+}

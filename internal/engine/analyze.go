@@ -113,9 +113,14 @@ func writeAnalyzeSpan(b *strings.Builder, sp *obs.Span) {
 			pc, _ := sp.IntAttr("blocks.pruned.cache")
 			fmt.Fprintf(b, " blocks(accessed=%d pruned.zonemap=%d pruned.cache=%d)", v, zm, pc)
 		}
+		if v, ok := sp.IntAttr("blocks.decoded"); ok {
+			ke, _ := sp.IntAttr("blocks.kernel_encoded")
+			fmt.Fprintf(b, " kernels(decoded=%d encoded=%d)", v, ke)
+		}
 		if v, ok := sp.IntAttr("rows.scanned"); ok {
 			q, _ := sp.IntAttr("rows.qualified")
-			fmt.Fprintf(b, " rows(scanned=%d qualified=%d)", v, q)
+			rd, _ := sp.IntAttr("rows.decoded")
+			fmt.Fprintf(b, " rows(scanned=%d qualified=%d decoded=%d)", v, q, rd)
 		}
 		if msg, ok := sp.StrAttr("error"); ok {
 			fmt.Fprintf(b, " ERROR: %s", msg)

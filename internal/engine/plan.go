@@ -36,6 +36,10 @@ type ExecCtx struct {
 	// ForceCacheInsertOnly makes scans insert entries but never use them
 	// (the Figure 15 build-overhead experiment).
 	ForceCacheInsertOnly bool
+	// DisableEncodedKernels forces the decode-then-filter path for every
+	// block, bypassing the encoding-aware kernels (ablation and equivalence
+	// testing).
+	DisableEncodedKernels bool
 }
 
 // Node is a query plan operator producing a materialized relation.

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// PruneScanProjections narrows every Scan's Project list to the columns the
+// plan actually consumes above it. Combined with the partial decoder this is
+// what makes late materialization pay off: a count(*) scan no longer
+// decompresses every column of every qualifying row, and a cache-hit point
+// query touches only the projected columns' blocks.
+//
+// The pass walks the tree top-down carrying the set of relation-level column
+// names the parent requires. Scans whose Project is already set (hand-built
+// plans) are left alone, as is any subtree containing an operator the pass
+// does not understand.
+func PruneScanProjections(root Node, cat *storage.Catalog) {
+	pruneNode(root, nil, true, cat)
+}
+
+// colSet is a set of relation-level (possibly alias-qualified) column names.
+type colSet map[string]bool
+
+func (s colSet) add(names ...string) {
+	for _, n := range names {
+		s[n] = true
+	}
+}
+
+// pruneNode narrows scans below n given that the parent consumes `need`
+// columns of n's output (all=true means every column is consumed).
+func pruneNode(n Node, need colSet, all bool, cat *storage.Catalog) {
+	switch t := n.(type) {
+	case *Project:
+		// A projection computes exactly its expressions, regardless of which
+		// output columns the parent keeps.
+		in := colSet{}
+		for _, e := range t.Exprs {
+			in.add(e.Expr.ScalarColumns(nil)...)
+		}
+		pruneNode(t.Input, in, false, cat)
+	case *Agg:
+		in := colSet{}
+		in.add(t.GroupBy...)
+		for _, a := range t.Aggs {
+			if a.Arg != nil {
+				in.add(a.Arg.ScalarColumns(nil)...)
+			}
+		}
+		pruneNode(t.Input, in, false, cat)
+	case *Filter:
+		if !all {
+			need = copySet(need)
+			need.add(t.Pred.Columns(nil)...)
+		}
+		pruneNode(t.Input, need, all, cat)
+	case *Sort:
+		if !all {
+			need = copySet(need)
+			for _, k := range t.Keys {
+				need.add(k.Col)
+			}
+		}
+		pruneNode(t.Input, need, all, cat)
+	case *Limit:
+		pruneNode(t.Input, need, all, cat)
+	case *Join:
+		// Both sides must still produce their join keys; everything else the
+		// parent needs is routed to whichever side owns the column. Names
+		// produced by the join itself (__matched) belong to neither side.
+		leftOut := outputCols(t.Left, cat)
+		rightOut := outputCols(t.Right, cat)
+		if all || leftOut == nil || rightOut == nil {
+			pruneNode(t.Left, nil, true, cat)
+			pruneNode(t.Right, nil, true, cat)
+			return
+		}
+		leftNeed := colSet{}
+		rightNeed := colSet{}
+		leftNeed.add(t.LeftKeys...)
+		rightNeed.add(t.RightKeys...)
+		for c := range need {
+			if leftOut[c] {
+				leftNeed[c] = true
+			} else if rightOut[c] {
+				rightNeed[c] = true
+			}
+		}
+		pruneNode(t.Left, leftNeed, false, cat)
+		pruneNode(t.Right, rightNeed, false, cat)
+	case *Scan:
+		if all || t.Project != nil {
+			return
+		}
+		tbl, ok := cat.Table(t.Table)
+		if !ok {
+			return
+		}
+		prefix := ""
+		if t.Alias != "" {
+			prefix = t.Alias + "."
+		}
+		var proj []string
+		for _, def := range tbl.Schema() {
+			if need[prefix+def.Name] {
+				proj = append(proj, def.Name)
+			}
+		}
+		if len(proj) == 0 {
+			// The output row count must survive (count(*) over a bare scan),
+			// so keep one column. Prefer a filter column — its blocks are the
+			// ones the scan already touches — else the first schema column.
+			name := tbl.Schema()[0].Name
+			if t.Filter != nil {
+				if cols := t.Filter.Columns(nil); len(cols) > 0 {
+					name = cols[0]
+				}
+			}
+			proj = []string{name}
+		}
+		t.Project = proj
+	}
+}
+
+// outputCols returns the set of column names the node's output relation
+// carries, or nil when the node (or a descendant feeding its output) is not
+// understood.
+func outputCols(n Node, cat *storage.Catalog) colSet {
+	switch t := n.(type) {
+	case *Scan:
+		tbl, ok := cat.Table(t.Table)
+		if !ok {
+			return nil
+		}
+		prefix := ""
+		if t.Alias != "" {
+			prefix = t.Alias + "."
+		}
+		out := colSet{}
+		if t.Project != nil {
+			for _, name := range t.Project {
+				out[prefix+name] = true
+			}
+			return out
+		}
+		for _, def := range tbl.Schema() {
+			out[prefix+def.Name] = true
+		}
+		return out
+	case *Join:
+		l := outputCols(t.Left, cat)
+		r := outputCols(t.Right, cat)
+		if l == nil || r == nil {
+			return nil
+		}
+		for c := range r {
+			l[c] = true
+		}
+		if t.Type == LeftOuterJoin {
+			l["__matched"] = true
+		}
+		return l
+	case *Project:
+		out := colSet{}
+		for _, e := range t.Exprs {
+			out[e.Name] = true
+		}
+		return out
+	case *Agg:
+		out := colSet{}
+		out.add(t.GroupBy...)
+		for _, a := range t.Aggs {
+			out[a.Name] = true
+		}
+		return out
+	case *Filter:
+		return outputCols(t.Input, cat)
+	case *Sort:
+		return outputCols(t.Input, cat)
+	case *Limit:
+		return outputCols(t.Input, cat)
+	}
+	return nil
+}
+
+func copySet(s colSet) colSet {
+	out := make(colSet, len(s)+4)
+	for c := range s {
+		out[c] = true
+	}
+	return out
+}

@@ -45,12 +45,18 @@ type sliceScanResult struct {
 	sjRanges    []storage.RowRange // rows passing filter + semi-join filters
 	numRows     int
 	err         error
+	// scratch is the pooled buffer set backing rel's output columns; Execute
+	// releases it after the merge copies the values out.
+	scratch *scanScratch
 
 	rowsScanned       int64
 	rowsQualified     int64
 	blocksAccessed    int64
 	blocksZonePruned  int64 // zone maps eliminated the block (step 1)
 	blocksCachePruned int64 // cached candidate ranges excluded the block entirely
+	blocksDecoded     int64 // (column, block) pairs actually decompressed
+	blocksKernel      int64 // kernel evaluations on encoded (column, block) pairs
+	rowsDecoded       int64 // values materialized by the (partial) decoder
 }
 
 // sliceBoundsProvider adapts a slice's per-block zone maps for pruning.
@@ -59,35 +65,39 @@ type sliceBoundsProvider struct {
 	block int
 }
 
-func (p sliceBoundsProvider) IntBounds(col int) (int64, int64, bool) {
+func (p *sliceBoundsProvider) IntBounds(col int) (int64, int64, bool) {
 	return p.slice.Column(col).IntBounds(p.block)
 }
 
-func (p sliceBoundsProvider) FloatBounds(col int) (float64, float64, bool) {
+func (p *sliceBoundsProvider) FloatBounds(col int) (float64, float64, bool) {
 	return p.slice.Column(col).FloatBounds(p.block)
 }
 
-// relBuilder accumulates projected output values for one slice.
+// relBuilder accumulates projected output values for one slice. Instances
+// live inside a scanScratch; their output backing arrays are recycled.
 type relBuilder struct {
 	cols []RelCol
 	idx  []int // column index in the base table
 }
 
-func newRelBuilder(tbl *storage.Table, project []string, alias string) (*relBuilder, error) {
-	b := &relBuilder{}
-	for _, name := range project {
-		ci := tbl.ColumnIndex(name)
-		if ci < 0 {
-			return nil, fmt.Errorf("engine: table %s has no column %q", tbl.Name(), name)
+// gatherRange appends the projected values of block-relative rows [lo, hi)
+// of block blk directly from the compressed column stores (partial decode,
+// no intermediate vector).
+func (rb *relBuilder) gatherRange(slice *storage.Slice, blk, lo, hi int, scr *scanScratch, res *sliceScanResult) {
+	n := hi - lo
+	for outIdx, ci := range rb.idx {
+		scr.markAccessed(ci, res)
+		scr.markDecoded(ci, res)
+		res.rowsDecoded += int64(n)
+		dst := &rb.cols[outIdx]
+		if dst.Type == storage.Float64 {
+			dst.Floats = growFloats(dst.Floats, n)
+			slice.Column(ci).ReadFloatRange(blk, lo, hi, dst.Floats[len(dst.Floats)-n:])
+		} else {
+			dst.Ints = growInts(dst.Ints, n)
+			slice.Column(ci).ReadIntRange(blk, lo, hi, dst.Ints[len(dst.Ints)-n:])
 		}
-		outName := name
-		if alias != "" {
-			outName = alias + "." + name
-		}
-		b.cols = append(b.cols, RelCol{Name: outName, Type: tbl.ColumnType(ci), Dict: tbl.Dict(ci)})
-		b.idx = append(b.idx, ci)
 	}
-	return b, nil
 }
 
 // Execute runs the scan: the paper's Figure 11 flow. It checks the
@@ -193,6 +203,20 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		unlock()
 		return nil, err
 	}
+	// Split the bound predicate into encoded-domain kernels plus a residual
+	// (decode-then-Eval) part. The split is per-scan, not per-block; blocks
+	// whose encoding lacks a kernel fall back leaf-by-leaf during the scan.
+	var plan *expr.ScanPlan
+	if ec.DisableEncodedKernels {
+		plan = expr.NoKernelPlan(bound)
+	} else {
+		plan = expr.PlanKernels(bound)
+	}
+	numCols := len(tbl.Schema())
+	dicts := make([]*storage.Dict, numCols)
+	for i := 0; i < numCols; i++ {
+		dicts[i] = tbl.Dict(i)
+	}
 	sjMemos := make([][]bool, len(sjs))
 	for i, sj := range sjs {
 		if !sj.stringKeys {
@@ -208,6 +232,15 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 
 	numSlices := tbl.NumSlices()
 	results := make([]sliceScanResult, numSlices)
+	// Scratches are released only after the merge below has copied every
+	// output value out of their recycled backing arrays.
+	defer func() {
+		for i := range results {
+			if results[i].scratch != nil {
+				results[i].scratch.release()
+			}
+		}
+	}()
 	run := func(i int) {
 		var ssp obs.SpanRef
 		if ec.Trace != nil {
@@ -217,7 +250,9 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		res := &results[i]
 		slice := tbl.Slice(i)
 		res.numRows = slice.NumRows()
-		var candidates []storage.RowRange
+		scr := acquireScanScratch(numCols, dicts)
+		res.scratch = scr
+		candidates := scr.cands[:0]
 		watermark := 0
 		if hit && i < len(cand.PerSlice) && cand.Watermarks[i] <= res.numRows {
 			watermark = cand.Watermarks[i]
@@ -227,23 +262,27 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 			}
 		} else {
 			if res.numRows > 0 {
-				candidates = []storage.RowRange{{Start: 0, End: res.numRows}}
+				candidates = append(candidates, storage.RowRange{Start: 0, End: res.numRows})
 			}
 		}
-		rb, rbErr := newRelBuilder(tbl, project, s.Alias)
+		scr.cands = candidates
+		rb, rbErr := scr.relBuilderFor(tbl, project, s.Alias)
 		if rbErr != nil {
 			res.err = rbErr
 			ssp.End()
 			return
 		}
 		res.rel = rb
-		s.scanSlice(ec, tbl, slice, bound, sjs, sjKeyCols, sjMemos, candidates, res)
+		s.scanSlice(ec, tbl, slice, bound, plan, sjs, sjKeyCols, sjMemos, candidates, scr, res)
 		if ssp.Active() {
 			ssp.SetInt("rows.scanned", res.rowsScanned)
 			ssp.SetInt("rows.qualified", res.rowsQualified)
 			ssp.SetInt("blocks.accessed", res.blocksAccessed)
 			ssp.SetInt("blocks.pruned.zonemap", res.blocksZonePruned)
 			ssp.SetInt("blocks.pruned.cache", res.blocksCachePruned)
+			ssp.SetInt("blocks.decoded", res.blocksDecoded)
+			ssp.SetInt("blocks.kernel_encoded", res.blocksKernel)
+			ssp.SetInt("rows.decoded", res.rowsDecoded)
 		}
 		ssp.End()
 	}
@@ -278,6 +317,9 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		tot.blocksAccessed += results[i].blocksAccessed
 		tot.blocksZonePruned += results[i].blocksZonePruned
 		tot.blocksCachePruned += results[i].blocksCachePruned
+		tot.blocksDecoded += results[i].blocksDecoded
+		tot.blocksKernel += results[i].blocksKernel
+		tot.rowsDecoded += results[i].rowsDecoded
 	}
 	if ec.Stats != nil {
 		ec.Stats.RowsScanned.Add(tot.rowsScanned)
@@ -285,6 +327,9 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		ec.Stats.BlocksAccessed.Add(tot.blocksAccessed)
 		ec.Stats.BlocksSkipped.Add(tot.blocksZonePruned)
 		ec.Stats.BlocksPrunedCache.Add(tot.blocksCachePruned)
+		ec.Stats.BlocksDecoded.Add(tot.blocksDecoded)
+		ec.Stats.BlocksKernel.Add(tot.blocksKernel)
+		ec.Stats.RowsDecoded.Add(tot.rowsDecoded)
 	}
 	if sp.Active() {
 		switch {
@@ -300,6 +345,9 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		sp.SetInt("blocks.accessed", tot.blocksAccessed)
 		sp.SetInt("blocks.pruned.zonemap", tot.blocksZonePruned)
 		sp.SetInt("blocks.pruned.cache", tot.blocksCachePruned)
+		sp.SetInt("blocks.decoded", tot.blocksDecoded)
+		sp.SetInt("blocks.kernel_encoded", tot.blocksKernel)
+		sp.SetInt("rows.decoded", tot.rowsDecoded)
 	}
 
 	// Steps 3-4: feed the cache from the ranges the vectorized scan
@@ -381,13 +429,25 @@ func (s *Scan) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 	}
 
-	// Merge per-slice outputs.
+	// Merge per-slice outputs, preallocating each output column from the
+	// summed per-slice lengths (one allocation per column, no regrowth).
 	out := make([]RelCol, len(results[0].rel.cols))
 	for ci := range out {
 		out[ci] = RelCol{
 			Name: results[0].rel.cols[ci].Name,
 			Type: results[0].rel.cols[ci].Type,
 			Dict: results[0].rel.cols[ci].Dict,
+		}
+		nInts, nFloats := 0, 0
+		for i := range results {
+			nInts += len(results[i].rel.cols[ci].Ints)
+			nFloats += len(results[i].rel.cols[ci].Floats)
+		}
+		if nInts > 0 {
+			out[ci].Ints = make([]int64, 0, nInts)
+		}
+		if nFloats > 0 {
+			out[ci].Floats = make([]float64, 0, nFloats)
 		}
 		for i := range results {
 			src := &results[i].rel.cols[ci]
@@ -441,59 +501,69 @@ func (r *rangeRecorder) addSel(base int, sel []int) {
 }
 
 // scanSlice performs the two-step scan of one slice over the candidate
-// ranges.
+// ranges, block by block:
+//
+//  1. zone-map elimination (bound.Prune);
+//  2. encoded-domain kernels narrow the candidate spans directly on each
+//     block's compressed form (no decode); kernels without support for a
+//     block's encoding are collected as per-block fallback leaves;
+//  3. when nothing needs row-at-a-time work (no residual, no fallbacks, no
+//     semi-joins), the dense fast path records the surviving spans outright —
+//     bypassing rangeRecorder.addSel — and gathers projections straight from
+//     the compressed blocks via partial decode;
+//  4. otherwise a selection vector is built from the surviving spans, the
+//     needed columns are partially decoded over just those spans, and the
+//     residual + fallbacks + semi-joins run vectorized as before.
 func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, bound expr.Bound,
-	sjs []*semiJoinFilter, sjKeyCols []int, sjMemos [][]bool,
-	candidates []storage.RowRange, res *sliceScanResult) {
+	plan *expr.ScanPlan, sjs []*semiJoinFilter, sjKeyCols []int, sjMemos [][]bool,
+	candidates []storage.RowRange, scr *scanScratch, res *sliceScanResult) {
 
-	numCols := len(tbl.Schema())
-	dicts := make([]*storage.Dict, numCols)
-	for i := 0; i < numCols; i++ {
-		dicts[i] = tbl.Dict(i)
-	}
-	ctx := expr.NewBlockCtx(numCols, dicts)
+	ctx := scr.ctx
+	rb := res.rel
 
-	intScratch := make([][]int64, numCols)
-	floatScratch := make([][]float64, numCols)
-	loaded := make([]bool, numCols)
-
-	loadCol := func(blk, ci int) {
-		if loaded[ci] {
+	// loadColSpans partially decodes column ci over the given block-relative
+	// spans into the per-column scratch vector (values land at their
+	// block-relative offsets, so selection vectors index it directly).
+	loadColSpans := func(blk, ci int, spans []storage.RowRange) {
+		if scr.loaded[ci] {
 			return
 		}
-		loaded[ci] = true
-		res.blocksAccessed++
+		scr.loaded[ci] = true
+		scr.markAccessed(ci, res)
+		scr.markDecoded(ci, res)
+		col := slice.Column(ci)
 		if tbl.ColumnType(ci) == storage.Float64 {
-			if floatScratch[ci] == nil {
-				floatScratch[ci] = make([]float64, storage.BlockSize)
+			if scr.floats[ci] == nil {
+				scr.floats[ci] = make([]float64, storage.BlockSize)
 			}
-			slice.Column(ci).ReadFloatBlock(blk, floatScratch[ci])
-			ctx.SetFloat(ci, floatScratch[ci])
+			vec := scr.floats[ci]
+			for _, sp := range spans {
+				if sp.Start < sp.End {
+					res.rowsDecoded += int64(col.ReadFloatRange(blk, sp.Start, sp.End, vec[sp.Start:sp.End]))
+				}
+			}
+			ctx.SetFloat(ci, vec)
 		} else {
-			if intScratch[ci] == nil {
-				intScratch[ci] = make([]int64, storage.BlockSize)
+			if scr.ints[ci] == nil {
+				scr.ints[ci] = make([]int64, storage.BlockSize)
 			}
-			slice.Column(ci).ReadIntBlock(blk, intScratch[ci])
-			ctx.SetInt(ci, intScratch[ci])
+			vec := scr.ints[ci]
+			for _, sp := range spans {
+				if sp.Start < sp.End {
+					res.rowsDecoded += int64(col.ReadIntRange(blk, sp.Start, sp.End, vec[sp.Start:sp.End]))
+				}
+			}
+			ctx.SetInt(ci, vec)
 		}
-	}
-
-	// Which columns the filter (and semi-joins) touch.
-	filterColIdx := map[int]bool{}
-	if s.Filter != nil {
-		for _, name := range s.Filter.Columns(nil) {
-			filterColIdx[tbl.ColumnIndex(name)] = true
-		}
-	}
-	for _, ci := range sjKeyCols {
-		filterColIdx[ci] = true
 	}
 
 	var plainRec, sjRec rangeRecorder
-	sel := make([]int, storage.BlockSize)
 	numRows := res.numRows
 	insXIDs := slice.InsertXIDs()
 	delXIDs := slice.DeleteXIDs()
+	snap := ec.Snapshot
+	kernels := plan.Kernels
+	scr.bp.slice = slice
 
 	ci := 0 // candidate cursor
 	numBlocks := (numRows + storage.BlockSize - 1) / storage.BlockSize
@@ -503,12 +573,13 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		if blkEnd > numRows {
 			blkEnd = numRows
 		}
-		// Advance past candidates entirely before this block.
+		// Advance past candidates entirely before this block; collect the
+		// candidate spans intersecting it (block-relative).
 		for ci < len(candidates) && candidates[ci].End <= base {
 			ci++
 		}
-		// Collect candidate spans intersecting this block.
-		sel = sel[:0]
+		spans := scr.spansA[:0]
+		candRows := 0
 		for j := ci; j < len(candidates) && candidates[j].Start < blkEnd; j++ {
 			lo := candidates[j].Start
 			if lo < base {
@@ -518,11 +589,13 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			if hi > blkEnd {
 				hi = blkEnd
 			}
-			for r := lo; r < hi; r++ {
-				sel = append(sel, r-base)
+			if lo < hi {
+				spans = append(spans, storage.RowRange{Start: lo - base, End: hi - base})
+				candRows += hi - lo
 			}
 		}
-		if len(sel) == 0 {
+		scr.spansA = spans
+		if candRows == 0 {
 			// The candidate ranges (a predicate-cache hit) excluded every row
 			// of this block: the cache saved the block outright.
 			res.blocksCachePruned++
@@ -530,22 +603,94 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		}
 
 		// Step (1 of the two-step scan): zone-map block elimination.
-		bp := sliceBoundsProvider{slice: slice, block: blk}
-		if bound.Prune(bp) {
+		scr.bp.block = blk
+		if bound.Prune(&scr.bp) {
 			res.blocksZonePruned++
 			continue
 		}
+		res.rowsScanned += int64(candRows)
 
-		// Step (2): vectorized filter over the candidate rows.
-		for i := range loaded {
-			loaded[i] = false
-		}
+		scr.resetBlock()
 		ctx.N = blkEnd - base
-		for colIdx := range filterColIdx {
-			loadCol(blk, colIdx)
+
+		// Step (2a): encoded-domain kernels narrow the spans in compressed
+		// form. A kernel that lacks support for this block's encoding joins
+		// the fallback list and re-runs vectorized below.
+		failed := scr.failed[:0]
+		other := scr.spansB
+		for ki := range kernels {
+			if len(spans) == 0 {
+				break
+			}
+			k := &kernels[ki]
+			got, ok := slice.Column(k.Col).EvalPredRanges(blk, &k.Pred, spans, other[:0])
+			if ok {
+				scr.markAccessed(k.Col, res)
+				res.blocksKernel++
+				spans, other = got, spans
+			} else {
+				failed = append(failed, ki)
+			}
 		}
-		res.rowsScanned += int64(len(sel))
-		sel = bound.Eval(ctx, sel)
+		scr.failed = failed
+		scr.spansA, scr.spansB = spans, other
+		if len(spans) == 0 {
+			continue // kernels proved no candidate row qualifies
+		}
+
+		if plan.Residual == nil && len(failed) == 0 && len(sjs) == 0 {
+			// Step (2b), dense fast path: the surviving spans are exactly the
+			// qualifying rows (pre-visibility). Record them as ranges without
+			// materializing a selection vector, then project visible runs
+			// straight from the compressed blocks.
+			for _, sp := range spans {
+				plainRec.add(base+sp.Start, base+sp.End)
+			}
+			for _, sp := range spans {
+				runStart := -1
+				for r := sp.Start; r < sp.End; r++ {
+					row := base + r
+					if insXIDs[row] <= snap && (delXIDs[row] == 0 || delXIDs[row] > snap) {
+						if runStart < 0 {
+							runStart = r
+						}
+					} else if runStart >= 0 {
+						rb.gatherRange(slice, blk, runStart, r, scr, res)
+						res.rowsQualified += int64(r - runStart)
+						runStart = -1
+					}
+				}
+				if runStart >= 0 {
+					rb.gatherRange(slice, blk, runStart, sp.End, scr, res)
+					res.rowsQualified += int64(sp.End - runStart)
+				}
+			}
+			continue
+		}
+
+		// Step (2c), vectorized path: build the selection vector from the
+		// surviving spans and run fallbacks, the residual, and semi-joins.
+		sel := scr.sel[:0]
+		for _, sp := range spans {
+			for r := sp.Start; r < sp.End; r++ {
+				sel = append(sel, r)
+			}
+		}
+		scr.sel = sel[:0]
+		for _, ki := range failed {
+			if len(sel) == 0 {
+				break
+			}
+			k := &kernels[ki]
+			loadColSpans(blk, k.Col, spans)
+			sel = k.Fallback.Eval(ctx, sel)
+		}
+		if plan.Residual != nil && len(sel) > 0 {
+			for _, colIdx := range plan.ResidualCols {
+				loadColSpans(blk, colIdx, spans)
+			}
+			sel = plan.Residual.Eval(ctx, sel)
+		}
 		plainRec.addSel(base, sel)
 
 		// Semi-join filters (§4.4).
@@ -553,11 +698,12 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			if len(sel) == 0 {
 				break
 			}
+			loadColSpans(blk, sjKeyCols[i], spans)
 			vec := ctx.Ints(sjKeyCols[i])
 			k := 0
 			if sj.stringKeys {
 				memo := sjMemos[i]
-				dict := dicts[sjKeyCols[i]]
+				dict := ctx.Dict(sjKeyCols[i])
 				for _, r := range sel {
 					code := vec[r]
 					var m bool
@@ -590,7 +736,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		k := 0
 		for _, r := range sel {
 			row := base + r
-			if insXIDs[row] <= ec.Snapshot && (delXIDs[row] == 0 || delXIDs[row] > ec.Snapshot) {
+			if insXIDs[row] <= snap && (delXIDs[row] == 0 || delXIDs[row] > snap) {
 				sel[k] = r
 				k++
 			}
@@ -598,15 +744,24 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		sel = sel[:k]
 		res.rowsQualified += int64(len(sel))
 		if len(sel) == 0 {
-			sel = sel[:cap(sel)]
 			continue
 		}
 
-		// Step (6): load and decompress the projected columns for the
-		// qualifying rows.
-		for outIdx, colIdx := range res.rel.idx {
-			loadCol(blk, colIdx)
-			dst := &res.rel.cols[outIdx]
+		// Step (6), late materialization: decode only the runs of qualifying
+		// rows for projected columns the filter didn't already load.
+		qspans := scr.qspans[:0]
+		for i := 0; i < len(sel); {
+			j := i + 1
+			for j < len(sel) && sel[j] == sel[j-1]+1 {
+				j++
+			}
+			qspans = append(qspans, storage.RowRange{Start: sel[i], End: sel[j-1] + 1})
+			i = j
+		}
+		scr.qspans = qspans
+		for outIdx, colIdx := range rb.idx {
+			loadColSpans(blk, colIdx, qspans)
+			dst := &rb.cols[outIdx]
 			if dst.Type == storage.Float64 {
 				vec := ctx.Floats(colIdx)
 				for _, r := range sel {
@@ -619,7 +774,6 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 				}
 			}
 		}
-		sel = sel[:cap(sel)]
 	}
 
 	res.plainRanges = plainRec.ranges

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// scanScratch owns every per-slice scan buffer: the BlockCtx and its
+// per-column decode vectors, per-block bookkeeping flags, the selection
+// vector, the kernel span buffers, the candidate list, and the relBuilder
+// with its output backing arrays. Instances are recycled through a
+// sync.Pool, so a steady-state warm scan allocates nothing per execution.
+//
+// Ownership discipline: a scratch is private to one slice scan goroutine
+// from acquire until release. Execute releases it only after the per-slice
+// outputs have been merged (copied) into the result relation — the output
+// backing arrays are recaptured at release and handed to the next scan.
+type scanScratch struct {
+	numCols int
+	ctx     *expr.BlockCtx
+	ints    [][]int64   // per-column decode buffers, BlockSize, lazy
+	floats  [][]float64 // per-column decode buffers, BlockSize, lazy
+	loaded  []bool      // column vector valid for the current block
+	counted []bool      // column counted in blocks.accessed this block
+	decoded []bool      // column counted in blocks.decoded this block
+
+	sel    []int
+	spansA []storage.RowRange // kernel ping-pong buffer / candidate spans
+	spansB []storage.RowRange // kernel ping-pong buffer
+	qspans []storage.RowRange // qualifying runs for late materialization
+	cands  []storage.RowRange // per-slice candidate ranges
+	failed []int              // kernel indexes needing fallback this block
+
+	bp sliceBoundsProvider // pointer-passed to Prune: no per-block boxing
+
+	rb relBuilder
+	// Recycled backing arrays for the relBuilder output columns, indexed by
+	// projection position. Recaptured at release after Execute's merge has
+	// copied the values out.
+	outInts   [][]int64
+	outFloats [][]float64
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return &scanScratch{} }}
+
+// acquireScanScratch returns a scratch sized for numCols columns with a
+// reset BlockCtx. dicts is shared read-only across slice goroutines.
+func acquireScanScratch(numCols int, dicts []*storage.Dict) *scanScratch {
+	scr := scanScratchPool.Get().(*scanScratch)
+	if cap(scr.ints) < numCols {
+		scr.ints = make([][]int64, numCols)
+		scr.floats = make([][]float64, numCols)
+		scr.loaded = make([]bool, numCols)
+		scr.counted = make([]bool, numCols)
+		scr.decoded = make([]bool, numCols)
+	} else {
+		scr.ints = scr.ints[:numCols]
+		scr.floats = scr.floats[:numCols]
+		scr.loaded = scr.loaded[:numCols]
+		scr.counted = scr.counted[:numCols]
+		scr.decoded = scr.decoded[:numCols]
+	}
+	scr.numCols = numCols
+	if scr.ctx == nil {
+		scr.ctx = expr.NewBlockCtx(numCols, dicts)
+	}
+	scr.ctx.Reset(numCols, dicts)
+	if scr.sel == nil {
+		scr.sel = make([]int, 0, storage.BlockSize)
+	}
+	return scr
+}
+
+// release recaptures the relBuilder's output backing arrays and returns the
+// scratch to the pool. Must only be called once the caller has copied every
+// output value (Execute's merge); the arrays are overwritten by the next
+// scan that draws this scratch.
+//
+// pclint:recycled
+func (scr *scanScratch) release() {
+	for j := range scr.rb.cols {
+		c := &scr.rb.cols[j]
+		if c.Ints != nil {
+			scr.outInts[j] = c.Ints[:0]
+		}
+		if c.Floats != nil {
+			scr.outFloats[j] = c.Floats[:0]
+		}
+		c.Ints, c.Floats, c.Dict = nil, nil, nil
+	}
+	scr.bp.slice = nil
+	scanScratchPool.Put(scr)
+}
+
+// relBuilderFor prepares the scratch-owned relBuilder for one slice's
+// projection, reusing the recycled output backing arrays.
+func (scr *scanScratch) relBuilderFor(tbl *storage.Table, project []string, alias string) (*relBuilder, error) {
+	rb := &scr.rb
+	rb.cols = rb.cols[:0]
+	rb.idx = rb.idx[:0]
+	for len(scr.outInts) < len(project) {
+		scr.outInts = append(scr.outInts, nil)
+		scr.outFloats = append(scr.outFloats, nil)
+	}
+	for j, name := range project {
+		ci := tbl.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %s has no column %q", tbl.Name(), name)
+		}
+		outName := name
+		if alias != "" {
+			outName = alias + "." + name
+		}
+		col := RelCol{Name: outName, Type: tbl.ColumnType(ci), Dict: tbl.Dict(ci)}
+		if col.Type == storage.Float64 {
+			col.Floats = scr.outFloats[j][:0]
+		} else {
+			col.Ints = scr.outInts[j][:0]
+		}
+		rb.cols = append(rb.cols, col)
+		rb.idx = append(rb.idx, ci)
+	}
+	return rb, nil
+}
+
+// resetBlock clears the per-block column bookkeeping.
+func (scr *scanScratch) resetBlock() {
+	for i := 0; i < scr.numCols; i++ {
+		scr.loaded[i] = false
+		scr.counted[i] = false
+		scr.decoded[i] = false
+	}
+}
+
+// markAccessed counts a (column, block) touch once, kernel or decode.
+func (scr *scanScratch) markAccessed(ci int, res *sliceScanResult) {
+	if !scr.counted[ci] {
+		scr.counted[ci] = true
+		res.blocksAccessed++
+	}
+}
+
+// markDecoded counts a (column, block) decompression once.
+func (scr *scanScratch) markDecoded(ci int, res *sliceScanResult) {
+	if !scr.decoded[ci] {
+		scr.decoded[ci] = true
+		res.blocksDecoded++
+	}
+}
+
+// growInts extends dst by n values without a temporary allocation and
+// returns the grown slice; the new values occupy dst[len(dst)-n:].
+func growInts(dst []int64, n int) []int64 {
+	m := len(dst)
+	if cap(dst) < m+n {
+		c := 2 * cap(dst)
+		if c < m+n {
+			c = m + n
+		}
+		grown := make([]int64, m, c)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[: m+n : cap(dst)]
+}
+
+// growFloats is growInts for float columns.
+func growFloats(dst []float64, n int) []float64 {
+	m := len(dst)
+	if cap(dst) < m+n {
+		c := 2 * cap(dst)
+		if c < m+n {
+			c = m + n
+		}
+		grown := make([]float64, m, c)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[: m+n : cap(dst)]
+}

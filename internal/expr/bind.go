@@ -27,6 +27,25 @@ func NewBlockCtx(numCols int, dicts []*storage.Dict) *BlockCtx {
 	}
 }
 
+// Reset prepares a (possibly recycled) context for a new scan over a table
+// with numCols columns: vector pointers are cleared so stale slices from the
+// previous scan can never be read.
+func (c *BlockCtx) Reset(numCols int, dicts []*storage.Dict) {
+	if cap(c.ints) >= numCols && cap(c.floats) >= numCols {
+		c.ints = c.ints[:numCols]
+		c.floats = c.floats[:numCols]
+		for i := 0; i < numCols; i++ {
+			c.ints[i] = nil
+			c.floats[i] = nil
+		}
+	} else {
+		c.ints = make([][]int64, numCols)
+		c.floats = make([][]float64, numCols)
+	}
+	c.dicts = dicts
+	c.N = 0
+}
+
 // SetInt installs the decompressed integer vector of a column.
 func (c *BlockCtx) SetInt(col int, v []int64) { c.ints[col] = v }
 

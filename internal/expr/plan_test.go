@@ -1,0 +1,218 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// TestIntPredForCmpProperty proves the interval translation matches the
+// scalar comparison for every op, including the int64 extremes.
+func TestIntPredForCmpProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	for i := 0; i < 300; i++ {
+		vals = append(vals, int64(r.Uint64()))
+	}
+	for _, op := range ops {
+		for _, c := range vals {
+			p := intPredForCmp(op, c)
+			for _, v := range vals {
+				if got, want := p.Match(v), cmpInt(op, v, c); got != want {
+					t.Fatalf("intPredForCmp(%v, %d).Match(%d) = %v, want %v", op, c, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanKernelsSplit checks the kernel/residual partition for a mixed
+// conjunction: int leaves become kernels, everything else lands in the
+// residual with its columns collected.
+func TestPlanKernelsSplit(t *testing.T) {
+	tbl, _ := testTable(t, 100, 1)
+	pred := And(
+		Cmp("qty", Ge, Int(10)),              // kernel (col 0)
+		Between("day", Int(9100), Int(9200)), // kernel (col 3)
+		In("qty", Int(11), Int(12)),          // kernel (col 0)
+		Cmp("mode", Eq, Str("AIR")),          // kernel: dict-code equality (col 2)
+		Cmp("price", Gt, Float(5)),           // residual: float (col 1)
+		Like("mode", "%AI%"),                 // residual: LIKE (col 2)
+	)
+	b, err := Bind(pred, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PlanKernels(b)
+	if len(p.Kernels) != 4 {
+		t.Fatalf("kernels = %d, want 4", len(p.Kernels))
+	}
+	kernelCols := map[int]int{}
+	for _, k := range p.Kernels {
+		kernelCols[k.Col]++
+		if k.Fallback == nil {
+			t.Fatalf("kernel on col %d has no fallback bound", k.Col)
+		}
+	}
+	if kernelCols[0] != 2 || kernelCols[2] != 1 || kernelCols[3] != 1 {
+		t.Fatalf("kernel column histogram = %v, want map[0:2 2:1 3:1]", kernelCols)
+	}
+	if p.Residual == nil {
+		t.Fatal("expected a residual")
+	}
+	wantCols := map[int]bool{1: true, 2: true}
+	if len(p.ResidualCols) != len(wantCols) {
+		t.Fatalf("residual cols = %v, want cols 1 and 2", p.ResidualCols)
+	}
+	for _, c := range p.ResidualCols {
+		if !wantCols[c] {
+			t.Fatalf("unexpected residual col %d (have %v)", c, p.ResidualCols)
+		}
+	}
+}
+
+// TestPlanKernelsShapes pins split decisions for the remaining shapes: OR
+// trees, NOT, column-vs-column, fractional literals, nested BETWEEN binds,
+// and the all-kernel / no-kernel extremes.
+func TestPlanKernelsShapes(t *testing.T) {
+	tbl, _ := testTable(t, 100, 2)
+	bind := func(p Pred) Bound {
+		t.Helper()
+		b, err := Bind(p, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Pure int conjunction: no residual at all.
+	p := PlanKernels(bind(And(Cmp("qty", Lt, Int(30)), Cmp("day", Ne, Int(9005)))))
+	if len(p.Kernels) != 2 || p.Residual != nil {
+		t.Fatalf("pure-int plan: kernels=%d residual=%v", len(p.Kernels), p.Residual)
+	}
+
+	// Float BETWEEN bind produces a nested boundAnd of two float leaves —
+	// both must reach the residual, not be dropped.
+	p = PlanKernels(bind(Between("price", Float(1.5), Float(2.5))))
+	if len(p.Kernels) != 0 || p.Residual == nil {
+		t.Fatalf("float between: kernels=%d residual=%v", len(p.Kernels), p.Residual)
+	}
+
+	// Fractional literal on an int column compares in the float domain.
+	p = PlanKernels(bind(Cmp("qty", Gt, Float(10.5))))
+	if len(p.Kernels) != 0 || p.Residual == nil {
+		t.Fatal("fractional-literal cmp must stay residual")
+	}
+
+	// OR trees and NOT stay residual wholesale.
+	p = PlanKernels(bind(Or(Cmp("qty", Eq, Int(1)), Cmp("qty", Eq, Int(2)))))
+	if len(p.Kernels) != 0 || p.Residual == nil {
+		t.Fatal("OR tree must stay residual")
+	}
+	p = PlanKernels(bind(Not(Cmp("qty", Eq, Int(1)))))
+	if len(p.Kernels) != 0 || p.Residual == nil {
+		t.Fatal("NOT must stay residual")
+	}
+
+	// Column-vs-column stays residual and reports both columns.
+	p = PlanKernels(bind(CmpCols("qty", Lt, "day")))
+	if len(p.Kernels) != 0 || len(p.ResidualCols) != 2 {
+		t.Fatalf("col-col: kernels=%d residualCols=%v", len(p.Kernels), p.ResidualCols)
+	}
+
+	// Equality against a string absent from the dictionary binds to
+	// boundFalse, which must survive in the residual (it is what empties the
+	// selection).
+	p = PlanKernels(bind(Cmp("mode", Eq, Str("NOSUCH"))))
+	if len(p.Kernels) != 0 || p.Residual == nil {
+		t.Fatal("boundFalse must stay residual")
+	}
+
+	// TruePred contributes nothing anywhere.
+	p = PlanKernels(bind(TruePred{}))
+	if len(p.Kernels) != 0 || p.Residual != nil {
+		t.Fatalf("true pred: kernels=%d residual=%v", len(p.Kernels), p.Residual)
+	}
+
+	// NoKernelPlan forces everything residual.
+	p = NoKernelPlan(bind(Cmp("qty", Ge, Int(10))))
+	if len(p.Kernels) != 0 || p.Residual == nil || len(p.ResidualCols) != 1 {
+		t.Fatalf("NoKernelPlan: kernels=%d residual=%v cols=%v", len(p.Kernels), p.Residual, p.ResidualCols)
+	}
+}
+
+// TestKernelLeafMatchesFallback proves each planned kernel's IntPred is
+// pointwise equivalent to its fallback bound over random vectors — the
+// contract the engine relies on when mixing kernel and fallback blocks.
+func TestKernelLeafMatchesFallback(t *testing.T) {
+	tbl, _ := testTable(t, 100, 3)
+	preds := []Pred{
+		Cmp("qty", Ge, Int(25)),
+		Cmp("qty", Ne, Int(7)),
+		Between("day", Int(9050), Int(9300)),
+		In("qty", Int(3), Int(14), Int(41)),
+		Cmp("mode", Eq, Str("SHIP")),
+		Cmp("mode", Ne, Str("RAIL")),
+	}
+	r := rand.New(rand.NewSource(5))
+	vec := make([]int64, 256)
+	for i := range vec {
+		vec[i] = int64(r.Intn(60))
+	}
+	if d := tbl.Dict(2); d != nil {
+		for i := 0; i < 40; i++ {
+			vec[r.Intn(len(vec))] = int64(r.Intn(d.Len()))
+		}
+	}
+	sel := make([]int, len(vec))
+	for _, pr := range preds {
+		b, err := Bind(pr, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := PlanKernels(b)
+		if len(plan.Kernels) != 1 || plan.Residual != nil {
+			t.Fatalf("%v: expected exactly one kernel, got %d (residual %v)", pr, len(plan.Kernels), plan.Residual)
+		}
+		k := plan.Kernels[0]
+		ctx := NewBlockCtx(len(tbl.Schema()), dictsOf(tbl))
+		ctx.N = len(vec)
+		ctx.SetInt(k.Col, vec)
+		for i := range sel {
+			sel[i] = i
+		}
+		out := k.Fallback.Eval(ctx, sel[:len(vec)])
+		want := make(map[int]bool, len(out))
+		for _, rix := range out {
+			want[rix] = true
+		}
+		for i, v := range vec {
+			if got := k.Pred.Match(v); got != want[i] {
+				t.Fatalf("%v: row %d (v=%d): kernel=%v fallback=%v", pr, i, v, got, want[i])
+			}
+		}
+	}
+}
+
+// TestBlockCtxReset checks recycling clears stale vectors and resizes.
+func TestBlockCtxReset(t *testing.T) {
+	d := storage.NewDict()
+	ctx := NewBlockCtx(2, []*storage.Dict{nil, d})
+	ctx.SetInt(0, []int64{1, 2, 3})
+	ctx.SetFloat(1, []float64{1.5})
+	ctx.N = 3
+	ctx.Reset(2, []*storage.Dict{nil, d})
+	if ctx.N != 0 || ctx.Ints(0) != nil || ctx.Floats(1) != nil {
+		t.Fatal("Reset did not clear vectors")
+	}
+	if ctx.Dict(1) != d {
+		t.Fatal("Reset lost dicts")
+	}
+	ctx.Reset(5, make([]*storage.Dict, 5))
+	if len(ctx.ints) != 5 || len(ctx.floats) != 5 {
+		t.Fatal("Reset did not grow to new column count")
+	}
+}

@@ -144,7 +144,14 @@ func (pl *planner) plan() (engine.Node, error) {
 	for _, res := range pl.residual {
 		node = &engine.Filter{Input: node, Pred: res}
 	}
-	return pl.buildOutput(node)
+	out, err := pl.buildOutput(node)
+	if err != nil {
+		return nil, err
+	}
+	// Narrow each scan to the columns consumed above it so the engine's
+	// partial decoder only materializes what the query reads.
+	engine.PruneScanProjections(out, pl.cat)
+	return out, nil
 }
 
 // classifyWhere splits the top-level conjunction.

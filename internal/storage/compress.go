@@ -127,6 +127,24 @@ func unpackBits(dst []int64, src []uint64, base int64, width, n int) {
 	}
 }
 
+// unpackBitsFrom reads n width-bit fields starting at field index start and
+// writes base+field to dst. width must be > 0 (callers handle constant
+// blocks). Seeking is O(1): the first field's bit offset is start*width.
+func unpackBitsFrom(dst []int64, src []uint64, base int64, width, start, n int) {
+	mask := ^uint64(0) >> (64 - width)
+	bitPos := start * width
+	for i := 0; i < n; i++ {
+		word := bitPos >> 6
+		off := bitPos & 63
+		d := src[word] >> off
+		if off+width > 64 {
+			d |= src[word+1] << (64 - off)
+		}
+		dst[i] = base + int64(d&mask)
+		bitPos += width
+	}
+}
+
 // decodeInts decompresses a payload produced by encodeInts into dst, which
 // must have room for n values.
 func decodeInts(enc Encoding, payload []uint64, n int, min, max int64, dst []int64) {

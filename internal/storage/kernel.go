@@ -1,0 +1,228 @@
+package storage
+
+// Encoded-domain scan kernels: leaf predicates evaluated directly on a
+// block's stored form, emitting qualifying row ranges without materializing
+// the 1,000-row vector first. RLE blocks are evaluated per run in O(runs);
+// FOR blocks compare in the packed delta domain; and blocks whose zone maps
+// fully decide the predicate (including width-0 constant blocks) are resolved
+// with a single comparison. EncRaw blocks and the open tail report ok=false —
+// for them decode-then-filter is already the cheapest plan.
+
+// IntPredKind selects the shape of an IntPred.
+type IntPredKind uint8
+
+const (
+	// IntPredRange matches Lo <= v <= Hi (Not inverts the interval). An
+	// empty interval (Lo > Hi) matches nothing (everything when Not).
+	IntPredRange IntPredKind = iota
+	// IntPredSet matches v ∈ Set (Not inverts).
+	IntPredSet
+)
+
+// IntPred is a leaf integer predicate in the form the encoded-domain kernels
+// evaluate: interval membership or set membership over the int64
+// representation (raw integers, dates, bools, dictionary codes).
+type IntPred struct {
+	Kind   IntPredKind
+	Lo, Hi int64
+	Not    bool
+	Set    map[int64]struct{}
+	// SetVals lists Set's members for zone-map short-circuiting; nil when the
+	// values are unordered dictionary codes (no bound reasoning possible).
+	SetVals []int64
+}
+
+// Match reports whether a single value satisfies the predicate.
+func (p *IntPred) Match(v int64) bool {
+	if p.Kind == IntPredSet {
+		_, ok := p.Set[v]
+		return ok != p.Not
+	}
+	return (v >= p.Lo && v <= p.Hi) != p.Not
+}
+
+// blockDecision is the zone-map verdict for one block.
+type blockDecision uint8
+
+const (
+	decideScan blockDecision = iota // rows must be inspected
+	decideAllPass
+	decideAllFail
+)
+
+// decide classifies a block with exact value bounds [min, max] against p.
+// Constant blocks (min == max) are always fully decided.
+func (p *IntPred) decide(min, max int64) blockDecision {
+	if min == max {
+		if p.Match(min) {
+			return decideAllPass
+		}
+		return decideAllFail
+	}
+	switch p.Kind {
+	case IntPredRange:
+		empty := p.Lo > p.Hi
+		disjoint := empty || p.Hi < min || p.Lo > max
+		covers := !empty && p.Lo <= min && max <= p.Hi
+		if p.Not {
+			if disjoint {
+				return decideAllPass
+			}
+			if covers {
+				return decideAllFail
+			}
+		} else {
+			if disjoint {
+				return decideAllFail
+			}
+			if covers {
+				return decideAllPass
+			}
+		}
+	case IntPredSet:
+		if p.SetVals != nil && !p.Not {
+			for _, v := range p.SetVals {
+				if v >= min && v <= max {
+					return decideScan
+				}
+			}
+			return decideAllFail
+		}
+	}
+	return decideScan
+}
+
+// AppendRange appends [lo, hi) to dst, coalescing with the previous range
+// when adjacent.
+func AppendRange(dst []RowRange, lo, hi int) []RowRange {
+	if n := len(dst); n > 0 && dst[n-1].End == lo {
+		dst[n-1].End = hi
+		return dst
+	}
+	return append(dst, RowRange{Start: lo, End: hi})
+}
+
+// EvalPredRanges evaluates p over the block-relative candidate spans of
+// block i, appending the qualifying (still block-relative) sub-ranges to dst
+// and returning it. ok is false when this block has no encoded-domain kernel
+// (float columns, EncRaw payloads not decided by their bounds, or the open
+// tail) — the caller must fall back to decode-then-filter. spans must be
+// sorted, non-overlapping and within [0, block rows).
+func (c *ColumnStore) EvalPredRanges(i int, p *IntPred, spans []RowRange, dst []RowRange) (out []RowRange, ok bool) {
+	if c.Typ == Float64 || i >= len(c.blocks) {
+		return dst, false
+	}
+	b := c.blocks[i]
+	// Zone-map short-circuit: bounds are exact (computed at seal), so a
+	// decided block costs O(1) regardless of encoding — this is also the
+	// single-comparison path for width-0 constant FOR blocks.
+	switch p.decide(b.MinI, b.MaxI) {
+	case decideAllFail:
+		return dst, true
+	case decideAllPass:
+		for _, sp := range spans {
+			if sp.Start < sp.End {
+				dst = AppendRange(dst, sp.Start, sp.End)
+			}
+		}
+		return dst, true
+	}
+	switch b.Enc {
+	case EncRLE:
+		return evalRLEPred(b.Words, p, spans, dst), true
+	case EncFOR:
+		return evalFORPred(b, p, spans, dst), true
+	}
+	return dst, false
+}
+
+// evalRLEPred walks the (value, run) pairs once, intersecting matching runs
+// with the candidate spans: O(runs + spans) with no per-row work.
+func evalRLEPred(words []uint64, p *IntPred, spans []RowRange, dst []RowRange) []RowRange {
+	si := 0
+	pos := 0
+	for w := 0; w+1 < len(words) && si < len(spans); w += 2 {
+		v := int64(words[w])
+		runStart := pos
+		runEnd := pos + int(words[w+1])
+		pos = runEnd
+		if !p.Match(v) {
+			continue
+		}
+		for si < len(spans) && spans[si].End <= runStart {
+			si++
+		}
+		for j := si; j < len(spans) && spans[j].Start < runEnd; j++ {
+			lo, hi := spans[j].Start, spans[j].End
+			if lo < runStart {
+				lo = runStart
+			}
+			if hi > runEnd {
+				hi = runEnd
+			}
+			if lo < hi {
+				dst = AppendRange(dst, lo, hi)
+			}
+		}
+	}
+	return dst
+}
+
+// evalFORPred evaluates p over the packed delta fields of a FOR block. For
+// plain intervals the comparison constants are translated into the delta
+// domain once, so the inner loop is extract-compare with no base addition;
+// other shapes decode each field to its value with one add and call Match.
+func evalFORPred(b *Block, p *IntPred, spans []RowRange, dst []RowRange) []RowRange {
+	base := int64(b.Words[0])
+	width := forWidth(b.MinI, b.MaxI) // > 0: width 0 was decided by bounds
+	src := b.Words[1:]
+	mask := ^uint64(0) >> (64 - width)
+
+	deltaCmp := p.Kind == IntPredRange && !p.Not
+	var dLo, dHi uint64
+	if deltaCmp {
+		// decide() ruled out disjoint intervals, so the clamped interval is
+		// non-empty. Wrapping uint64 subtraction is exact two's complement.
+		if p.Lo > base {
+			dLo = uint64(p.Lo) - uint64(base)
+		}
+		hi := p.Hi
+		if hi > b.MaxI {
+			hi = b.MaxI
+		}
+		dHi = uint64(hi) - uint64(base)
+	}
+
+	for _, sp := range spans {
+		runStart := -1
+		bitPos := sp.Start * width
+		for r := sp.Start; r < sp.End; r++ {
+			word := bitPos >> 6
+			off := bitPos & 63
+			d := src[word] >> off
+			if off+width > 64 {
+				d |= src[word+1] << (64 - off)
+			}
+			d &= mask
+			bitPos += width
+			var m bool
+			if deltaCmp {
+				m = d >= dLo && d <= dHi
+			} else {
+				m = p.Match(base + int64(d))
+			}
+			if m {
+				if runStart < 0 {
+					runStart = r
+				}
+			} else if runStart >= 0 {
+				dst = AppendRange(dst, runStart, r)
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			dst = AppendRange(dst, runStart, sp.End)
+		}
+	}
+	return dst
+}

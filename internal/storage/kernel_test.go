@@ -1,0 +1,362 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// makeIntColumn builds a sealed Int64 column store from vals (plus an open
+// tail for any remainder past the last full block).
+func makeIntColumn(t *testing.T, vals []int64) *ColumnStore {
+	t.Helper()
+	c := newColumnStore(Int64, nil)
+	for _, v := range vals {
+		c.appendInt(v)
+	}
+	return c
+}
+
+// kernelTestPatterns produces one value pattern per encoding, including the
+// width-0 constant case, a cross-word FOR width, and extreme FOR bases.
+func kernelTestPatterns(n int) map[string][]int64 {
+	r := rand.New(rand.NewSource(42))
+	pats := make(map[string][]int64)
+
+	constant := make([]int64, n) // FOR width 0
+	for i := range constant {
+		constant[i] = 77
+	}
+	pats["constant-for0"] = constant
+
+	runs := make([]int64, n) // RLE: few long runs of far-apart values
+	for i := range runs {
+		runs[i] = int64((i/100)%7) * 1e17
+	}
+	pats["runs-rle"] = runs
+
+	narrow := make([]int64, n) // FOR width 13 (crosses word boundaries)
+	for i := range narrow {
+		narrow[i] = 5000 + r.Int63n(1<<13)
+	}
+	pats["narrow-for13"] = narrow
+
+	wide := make([]int64, n) // raw: full-range values, width 64
+	for i := range wide {
+		wide[i] = int64(r.Uint64())
+	}
+	pats["wide-raw"] = wide
+
+	extreme := make([]int64, n) // FOR width 7 with base MinInt64
+	for i := range extreme {
+		extreme[i] = math.MinInt64 + r.Int63n(100)
+	}
+	pats["extreme-for"] = extreme
+
+	return pats
+}
+
+func wantEncoding(name string) (Encoding, bool) {
+	switch name {
+	case "constant-for0", "narrow-for13", "extreme-for":
+		return EncFOR, true
+	case "runs-rle":
+		return EncRLE, true
+	case "wide-raw":
+		return EncRaw, true
+	}
+	return 0, false
+}
+
+// TestReadIntRangeEquivalence checks ReadIntRange against ReadIntBlock
+// sub-slicing for every encoding, every boundary alignment, and the tail.
+func TestReadIntRangeEquivalence(t *testing.T) {
+	const n = BlockSize + 250 // one sealed block plus an open tail
+	r := rand.New(rand.NewSource(7))
+	for name, vals := range kernelTestPatterns(n) {
+		c := makeIntColumn(t, vals)
+		if enc, ok := wantEncoding(name); ok {
+			if got := c.blocks[0].Enc; got != enc {
+				t.Fatalf("%s: block encoding = %v, want %v", name, got, enc)
+			}
+		}
+		full := make([]int64, BlockSize)
+		part := make([]int64, BlockSize)
+		for bi := 0; bi < 2; bi++ { // block 0 sealed, block 1 = tail
+			bn := c.ReadIntBlock(bi, full)
+			cases := [][2]int{{0, bn}, {0, 1}, {bn - 1, bn}, {3, 4}, {bn / 3, 2 * bn / 3}, {5, 5}, {bn, bn + 50}}
+			for i := 0; i < 40; i++ {
+				lo := r.Intn(bn + 1)
+				cases = append(cases, [2]int{lo, lo + r.Intn(bn+1-lo)})
+			}
+			for _, cse := range cases {
+				lo, hi := cse[0], cse[1]
+				got := c.ReadIntRange(bi, lo, hi, part)
+				wantHi := hi
+				if wantHi > bn {
+					wantHi = bn
+				}
+				want := 0
+				if lo < wantHi {
+					want = wantHi - lo
+				}
+				if got != want {
+					t.Fatalf("%s: block %d ReadIntRange(%d,%d) n = %d, want %d", name, bi, lo, hi, got, want)
+				}
+				for j := 0; j < want; j++ {
+					if part[j] != full[lo+j] {
+						t.Fatalf("%s: block %d ReadIntRange(%d,%d)[%d] = %d, want %d",
+							name, bi, lo, hi, j, part[j], full[lo+j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadFloatRangeEquivalence checks the float range reader, including the
+// open tail and out-of-range clamping.
+func TestReadFloatRangeEquivalence(t *testing.T) {
+	const n = BlockSize + 125
+	c := newColumnStore(Float64, nil)
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		c.appendFloat(r.Float64() * 1000)
+	}
+	full := make([]float64, BlockSize)
+	part := make([]float64, BlockSize)
+	for bi := 0; bi < 2; bi++ {
+		bn := c.ReadFloatBlock(bi, full)
+		for i := 0; i < 50; i++ {
+			lo := r.Intn(bn + 1)
+			hi := lo + r.Intn(bn+2-lo) // occasionally past the end
+			got := c.ReadFloatRange(bi, lo, hi, part)
+			wantHi := hi
+			if wantHi > bn {
+				wantHi = bn
+			}
+			want := 0
+			if lo < wantHi {
+				want = wantHi - lo
+			}
+			if got != want {
+				t.Fatalf("block %d ReadFloatRange(%d,%d) n = %d, want %d", bi, lo, hi, got, want)
+			}
+			for j := 0; j < want; j++ {
+				if part[j] != full[lo+j] {
+					t.Fatalf("block %d ReadFloatRange(%d,%d)[%d] = %v, want %v", bi, lo, hi, j, part[j], full[lo+j])
+				}
+			}
+		}
+	}
+}
+
+// predForOp builds the IntPred the expr planner would emit for `col op c`,
+// including the MinInt64/MaxInt64 empty-interval edges.
+func predForOp(op string, c int64) IntPred {
+	switch op {
+	case "eq":
+		return IntPred{Kind: IntPredRange, Lo: c, Hi: c}
+	case "ne":
+		return IntPred{Kind: IntPredRange, Lo: c, Hi: c, Not: true}
+	case "lt":
+		if c == math.MinInt64 {
+			return IntPred{Kind: IntPredRange, Lo: 0, Hi: -1} // empty
+		}
+		return IntPred{Kind: IntPredRange, Lo: math.MinInt64, Hi: c - 1}
+	case "le":
+		return IntPred{Kind: IntPredRange, Lo: math.MinInt64, Hi: c}
+	case "gt":
+		if c == math.MaxInt64 {
+			return IntPred{Kind: IntPredRange, Lo: 0, Hi: -1} // empty
+		}
+		return IntPred{Kind: IntPredRange, Lo: c + 1, Hi: math.MaxInt64}
+	case "ge":
+		return IntPred{Kind: IntPredRange, Lo: c, Hi: math.MaxInt64}
+	}
+	panic("unknown op " + op)
+}
+
+// opMatches is the scalar reference semantics for predForOp.
+func opMatches(op string, v, c int64) bool {
+	switch op {
+	case "eq":
+		return v == c
+	case "ne":
+		return v != c
+	case "lt":
+		return v < c
+	case "le":
+		return v <= c
+	case "gt":
+		return v > c
+	case "ge":
+		return v >= c
+	}
+	panic("unknown op " + op)
+}
+
+// refRanges is the decode-then-filter oracle: materialize the block, test
+// every candidate row with match, and emit coalesced qualifying ranges.
+func refRanges(full []int64, spans []RowRange, match func(int64) bool) []RowRange {
+	var out []RowRange
+	for _, sp := range spans {
+		for r := sp.Start; r < sp.End; r++ {
+			if match(full[r]) {
+				out = AppendRange(out, r, r+1)
+			}
+		}
+	}
+	return out
+}
+
+func rangesEqual(a, b []RowRange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spanShapes returns candidate-span layouts for a block of bn rows: full
+// block, fragments, singletons, and empty.
+func spanShapes(bn int, r *rand.Rand) [][]RowRange {
+	shapes := [][]RowRange{
+		{{Start: 0, End: bn}},
+		{{Start: 0, End: 1}, {Start: bn / 2, End: bn/2 + 3}, {Start: bn - 1, End: bn}},
+		{{Start: 17, End: 17}}, // empty span
+		nil,
+	}
+	for i := 0; i < 6; i++ {
+		var spans []RowRange
+		pos := r.Intn(5)
+		for pos < bn {
+			end := pos + 1 + r.Intn(60)
+			if end > bn {
+				end = bn
+			}
+			spans = append(spans, RowRange{Start: pos, End: end})
+			pos = end + 1 + r.Intn(200)
+		}
+		shapes = append(shapes, spans)
+	}
+	return shapes
+}
+
+// TestEvalPredRangesEquivalence proves the encoded-domain kernels equivalent
+// to decode-then-filter for all comparison shapes on every encoding,
+// including boundary constants at block min/max and empty intervals.
+func TestEvalPredRangesEquivalence(t *testing.T) {
+	const n = BlockSize
+	r := rand.New(rand.NewSource(11))
+	ops := []string{"eq", "ne", "lt", "le", "gt", "ge"}
+	for name, vals := range kernelTestPatterns(n) {
+		c := makeIntColumn(t, vals)
+		full := make([]int64, BlockSize)
+		bn := c.ReadIntBlock(0, full)
+		min, max, _ := c.IntBounds(0)
+
+		consts := []int64{min, max, (min + max) / 2, math.MinInt64, math.MaxInt64}
+		if min > math.MinInt64 {
+			consts = append(consts, min-1)
+		}
+		if max < math.MaxInt64 {
+			consts = append(consts, max+1)
+		}
+		consts = append(consts, full[r.Intn(bn)], full[r.Intn(bn)])
+
+		var preds []IntPred
+		for _, cst := range consts {
+			for _, op := range ops {
+				preds = append(preds, predForOp(op, cst))
+			}
+		}
+		// Between shapes, including inverted (empty) and clamping intervals.
+		preds = append(preds,
+			IntPred{Kind: IntPredRange, Lo: min, Hi: max},
+			IntPred{Kind: IntPredRange, Lo: (min+max)/2 - 3, Hi: (min+max)/2 + 3},
+			IntPred{Kind: IntPredRange, Lo: 10, Hi: -10}, // empty
+			IntPred{Kind: IntPredRange, Lo: 10, Hi: -10, Not: true},
+			IntPred{Kind: IntPredRange, Lo: (min+max)/2 - 3, Hi: (min+max)/2 + 3, Not: true},
+		)
+		// In sets: present values, absent values, and NOT IN.
+		set := map[int64]struct{}{full[0]: {}, full[bn/2]: {}, min: {}}
+		var setVals []int64
+		for v := range set {
+			setVals = append(setVals, v)
+		}
+		preds = append(preds,
+			IntPred{Kind: IntPredSet, Set: set, SetVals: setVals},
+			IntPred{Kind: IntPredSet, Set: set, SetVals: setVals, Not: true},
+			IntPred{Kind: IntPredSet, Set: map[int64]struct{}{}, SetVals: []int64{}},
+		)
+
+		for _, spans := range spanShapes(bn, r) {
+			for pi := range preds {
+				p := &preds[pi]
+				got, ok := c.EvalPredRanges(0, p, spans, nil)
+				if !ok {
+					continue // decode-then-filter fallback; nothing to verify
+				}
+				want := refRanges(full, spans, p.Match)
+				if !rangesEqual(got, want) {
+					t.Fatalf("%s: pred %+v spans %v: kernel = %v, want %v", name, *p, spans, got, want)
+				}
+			}
+		}
+
+		// Kernel coverage: RLE and FOR sealed blocks must have kernels.
+		if enc := c.blocks[0].Enc; enc == EncRLE || enc == EncFOR {
+			p := predForOp("ge", min)
+			if _, ok := c.EvalPredRanges(0, &p, []RowRange{{Start: 0, End: bn}}, nil); !ok {
+				t.Fatalf("%s: expected kernel support for %v block", name, enc)
+			}
+		}
+	}
+}
+
+// TestEvalPredRangesOpSemantics cross-checks predForOp's interval translation
+// against the scalar comparison, so the kernel oracle itself is validated.
+func TestEvalPredRangesOpSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	ops := []string{"eq", "ne", "lt", "le", "gt", "ge"}
+	vals := []int64{math.MinInt64, math.MinInt64 + 1, -5, 0, 5, math.MaxInt64 - 1, math.MaxInt64}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, int64(r.Uint64()))
+	}
+	for _, op := range ops {
+		for _, c := range vals {
+			p := predForOp(op, c)
+			for _, v := range vals {
+				if got, want := p.Match(v), opMatches(op, v, c); got != want {
+					t.Fatalf("predForOp(%s, %d).Match(%d) = %v, want %v", op, c, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPredRangesUnsupported pins the fallback contract: float columns and
+// the open tail never claim kernel support.
+func TestEvalPredRangesUnsupported(t *testing.T) {
+	fc := newColumnStore(Float64, nil)
+	for i := 0; i < BlockSize; i++ {
+		fc.appendFloat(float64(i))
+	}
+	p := predForOp("ge", 0)
+	if _, ok := fc.EvalPredRanges(0, &p, []RowRange{{Start: 0, End: BlockSize}}, nil); ok {
+		t.Fatal("float column claimed kernel support")
+	}
+
+	ic := newColumnStore(Int64, nil)
+	for i := 0; i < 10; i++ {
+		ic.appendInt(int64(i))
+	}
+	if _, ok := ic.EvalPredRanges(0, &p, []RowRange{{Start: 0, End: 10}}, nil); ok {
+		t.Fatal("open tail claimed kernel support")
+	}
+}

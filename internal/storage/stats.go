@@ -18,6 +18,14 @@ type ScanStats struct {
 	BlocksPrunedCache atomic.Int64
 	CacheHits         atomic.Int64
 	CacheMisses       atomic.Int64
+	// Encoding-aware kernel breakdown: of the accessed (column, block)
+	// pairs, how many were actually decompressed (BlocksDecoded) versus
+	// evaluated directly on their stored form (BlocksKernel counts kernel
+	// evaluations), and how many values the partial decoder materialized
+	// (RowsDecoded; full-block decodes count BlockSize).
+	BlocksDecoded atomic.Int64
+	BlocksKernel  atomic.Int64
+	RowsDecoded   atomic.Int64
 }
 
 // Add merges other into s.
@@ -29,6 +37,9 @@ func (s *ScanStats) Add(other *ScanStats) {
 	s.BlocksPrunedCache.Add(other.BlocksPrunedCache.Load())
 	s.CacheHits.Add(other.CacheHits.Load())
 	s.CacheMisses.Add(other.CacheMisses.Load())
+	s.BlocksDecoded.Add(other.BlocksDecoded.Load())
+	s.BlocksKernel.Add(other.BlocksKernel.Load())
+	s.RowsDecoded.Add(other.RowsDecoded.Load())
 }
 
 // Snapshot returns a plain-struct copy for reporting.
@@ -41,6 +52,9 @@ func (s *ScanStats) Snapshot() ScanStatsSnapshot {
 		BlocksPrunedCache: s.BlocksPrunedCache.Load(),
 		CacheHits:         s.CacheHits.Load(),
 		CacheMisses:       s.CacheMisses.Load(),
+		BlocksDecoded:     s.BlocksDecoded.Load(),
+		BlocksKernel:      s.BlocksKernel.Load(),
+		RowsDecoded:       s.RowsDecoded.Load(),
 	}
 }
 
@@ -53,4 +67,7 @@ type ScanStatsSnapshot struct {
 	BlocksPrunedCache int64
 	CacheHits         int64
 	CacheMisses       int64
+	BlocksDecoded     int64
+	BlocksKernel      int64
+	RowsDecoded       int64
 }

@@ -20,7 +20,10 @@ type queryMetrics struct {
 	seconds        *obs.Histogram
 	rowsScanned    *obs.Counter
 	rowsQualified  *obs.Counter
+	rowsDecoded    *obs.Counter
 	blocksAccessed *obs.Counter
+	blocksDecoded  *obs.Counter
+	blocksKernel   *obs.Counter
 	blocksZone     *obs.Counter
 	blocksCache    *obs.Counter
 	cacheHits      *obs.Counter
@@ -38,7 +41,10 @@ func (db *DB) EnableMetrics(m *obs.Metrics) {
 		seconds:        m.NewHistogram("predcache_query_seconds", "Query wall time.", obs.DefBuckets),
 		rowsScanned:    m.NewCounter("predcache_rows_scanned_total", "Rows the vectorized filter evaluated."),
 		rowsQualified:  m.NewCounter("predcache_rows_qualified_total", "Rows passing filters and visibility."),
-		blocksAccessed: m.NewCounter("predcache_blocks_accessed_total", "Column blocks decompressed."),
+		rowsDecoded:    m.NewCounter("predcache_rows_decoded_total", "Values the partial decoder materialized."),
+		blocksAccessed: m.NewCounter("predcache_blocks_accessed_total", "Column blocks touched (kernel or decode)."),
+		blocksDecoded:  m.NewCounter("predcache_blocks_decoded_total", "Column blocks decompressed."),
+		blocksKernel:   m.NewCounter("predcache_blocks_kernel_encoded_total", "Kernel evaluations directly on encoded blocks."),
 		blocksZone:     m.NewCounter("predcache_blocks_pruned_zonemap_total", "Row blocks eliminated by zone maps."),
 		blocksCache:    m.NewCounter("predcache_blocks_pruned_cache_total", "Row blocks excluded by predicate-cache hits."),
 		cacheHits:      m.NewCounter("predcache_scan_cache_hits_total", "Scans served from a predicate-cache entry."),
@@ -84,7 +90,10 @@ func (qm *queryMetrics) record(d time.Duration, snap storage.ScanStatsSnapshot, 
 	qm.seconds.Observe(d.Seconds())
 	qm.rowsScanned.Add(snap.RowsScanned)
 	qm.rowsQualified.Add(snap.RowsQualified)
+	qm.rowsDecoded.Add(snap.RowsDecoded)
 	qm.blocksAccessed.Add(snap.BlocksAccessed)
+	qm.blocksDecoded.Add(snap.BlocksDecoded)
+	qm.blocksKernel.Add(snap.BlocksKernel)
 	qm.blocksZone.Add(snap.BlocksSkipped)
 	qm.blocksCache.Add(snap.BlocksPrunedCache)
 	qm.cacheHits.Add(snap.CacheHits)

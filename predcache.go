@@ -513,8 +513,9 @@ func (db *DB) ExplainAnalyze(query string) (string, error) {
 	var b strings.Builder
 	b.WriteString(engine.RenderAnalyze(tr))
 	fmt.Fprintf(&b, "result: %d rows\n", rel.NumRows())
-	fmt.Fprintf(&b, "totals: rows scanned=%d qualified=%d; blocks accessed=%d pruned(zonemap)=%d pruned(cache)=%d; cache hits=%d misses=%d\n",
-		snap.RowsScanned, snap.RowsQualified, snap.BlocksAccessed,
+	fmt.Fprintf(&b, "totals: rows scanned=%d qualified=%d decoded=%d; blocks accessed=%d decoded=%d kernel(encoded)=%d pruned(zonemap)=%d pruned(cache)=%d; cache hits=%d misses=%d\n",
+		snap.RowsScanned, snap.RowsQualified, snap.RowsDecoded,
+		snap.BlocksAccessed, snap.BlocksDecoded, snap.BlocksKernel,
 		snap.BlocksSkipped, snap.BlocksPrunedCache, snap.CacheHits, snap.CacheMisses)
 	return b.String(), nil
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_compare.sh — record and compare scan-benchmark baselines.
+#
+# Usage:
+#   scripts/bench_compare.sh                  record BENCH_<n>.json (next free n)
+#   scripts/bench_compare.sh <label>          record BENCH_<label>.json
+#   scripts/bench_compare.sh <old> <new>      compare two recordings (.json files)
+#
+# A recording holds per-benchmark ns/op, allocs/op, bytes/op and rows-scanned
+# for the scan micro-benchmarks (see internal/bench/micro.go). Run it once
+# before a performance change and once after, then compare:
+#
+#   scripts/bench_compare.sh BENCH_0.json BENCH_1.json
+#
+# Recordings are plain JSON; keep them committed so future PRs inherit a
+# baseline (EXPERIMENTS.md documents how to read them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -eq 2 ]; then
+    exec go run ./cmd/pcbench -compare "$1,$2"
+fi
+
+if [ $# -eq 1 ]; then
+    out="BENCH_$1.json"
+else
+    n=0
+    while [ -e "BENCH_${n}.json" ]; do
+        n=$((n + 1))
+    done
+    out="BENCH_${n}.json"
+fi
+
+exec go run ./cmd/pcbench -json "$out"
