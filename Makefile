@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress test-debug vet lint smoke bench-smoke check clean
+.PHONY: all build test race stress test-debug vet lint smoke systab-smoke bench-smoke check clean
 
 all: build
 
@@ -47,13 +47,18 @@ lint:
 smoke:
 	./scripts/metrics_smoke.sh
 
+# End-to-end system-table check: boots pcsh, runs a workload, and asserts
+# pc.query_log / pc.cache_stats / pc.table_storage answer through SQL.
+systab-smoke:
+	./scripts/systab_smoke.sh
+
 # One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
 # the benchmark harness without paying full measurement time.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x .
 
 # Everything CI runs.
-check: build vet lint test race stress test-debug bench-smoke smoke
+check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke
 
 clean:
 	$(GO) clean ./...

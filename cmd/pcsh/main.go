@@ -17,9 +17,15 @@
 //	\stats          scan counters of the last query
 //	\cache          predicate-cache counters
 //	\entries        list predicate-cache entries
+//	\log            recent queries from pc.query_log (newest first)
+//	\storage        per-column storage breakdown from pc.table_storage
 //	\explain <sql>  show the plan without executing
 //	\tables         list tables
 //	\q              quit
+//
+// The same telemetry is SQL-queryable as system tables under the reserved
+// pc schema: pc.query_log, pc.cache_entries, pc.cache_stats,
+// pc.table_storage and pc.metrics all join against user tables.
 package main
 
 import (
@@ -121,6 +127,14 @@ func main() {
 			}
 			prompt()
 			continue
+		case `\log`:
+			runMeta(db, "select seq, query_text, wall_us, result_rows, cache_hits, cache_misses, slow from pc.query_log order by seq desc limit 20")
+			prompt()
+			continue
+		case `\storage`:
+			runMeta(db, "select table_name, column_name, column_type, result_rows, blocks, payload_bytes, zonemap_bytes, dict_bytes from pc.table_storage order by table_name")
+			prompt()
+			continue
 		}
 		if strings.HasPrefix(trimmed, `\explain `) {
 			out, err := db.Explain(strings.TrimSuffix(strings.TrimPrefix(trimmed, `\explain `), ";"))
@@ -153,6 +167,19 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// runMeta executes a canned system-table query for a meta command. The query
+// itself runs through the normal path and therefore also lands in
+// pc.query_log.
+func runMeta(db *predcache.DB, query string) {
+	res, err := db.Query(query)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Print(res.Format(40))
+	fmt.Printf("(%d rows)\n", res.NumRows())
 }
 
 func truncate(s string, n int) string {

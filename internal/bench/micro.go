@@ -24,6 +24,14 @@ type MicroResult struct {
 	// RowsScanned is the per-query rows-scanned counter of one extra
 	// post-timing execution (0 for harness experiments that run many queries).
 	RowsScanned int64 `json:"rows_scanned"`
+	// CacheHitRate and the block counters come from the same post-timing
+	// probe: scan cache hits / (hits+misses), and where the touched blocks
+	// went — eliminated by zone maps, excluded by a predicate-cache entry,
+	// or actually accessed.
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	BlocksAccessed      int64   `json:"blocks_accessed"`
+	BlocksPrunedZoneMap int64   `json:"blocks_pruned_zonemap"`
+	BlocksPrunedCache   int64   `json:"blocks_pruned_cache"`
 }
 
 // microBenchDB builds the clustered single-table database the scan
@@ -175,7 +183,14 @@ func RunMicro(progress io.Writer) ([]MicroResult, error) {
 			// One extra execution outside the timing loop to sample the
 			// per-query scan counters.
 			if err := body(); err == nil {
-				res.RowsScanned = db.LastQueryStats().RowsScanned
+				s := db.LastQueryStats()
+				res.RowsScanned = s.RowsScanned
+				res.BlocksAccessed = s.BlocksAccessed
+				res.BlocksPrunedZoneMap = s.BlocksSkipped
+				res.BlocksPrunedCache = s.BlocksPrunedCache
+				if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+					res.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+				}
 			}
 		}
 		out = append(out, res)

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMicroJSONCarriesCacheBreakdown(t *testing.T) {
+	results := []MicroResult{
+		{
+			Name: "ScanWarm", Iterations: 10, NsPerOp: 1234.5, AllocsPerOp: 37,
+			RowsScanned: 400, CacheHitRate: 1.0,
+			BlocksAccessed: 3, BlocksPrunedZoneMap: 12, BlocksPrunedCache: 385,
+		},
+		{Name: "ScanCold", Iterations: 5, NsPerOp: 9999, RowsScanned: 400000},
+	}
+	var buf bytes.Buffer
+	if err := WriteMicroJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cache_hit_rate", "blocks_accessed", "blocks_pruned_zonemap", "blocks_pruned_cache"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("recording missing %q:\n%s", key, buf.String())
+		}
+	}
+	var back []MicroResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].CacheHitRate != 1.0 || back[0].BlocksPrunedCache != 385 || back[0].BlocksPrunedZoneMap != 12 {
+		t.Fatalf("round-trip lost the breakdown: %+v", back[0])
+	}
+	// Old recordings without the new fields still compare cleanly.
+	old := `[{"name":"ScanWarm","iterations":9,"ns_per_op":1300,"allocs_per_op":37,"bytes_per_op":0,"rows_scanned":400}]`
+	out, err := CompareMicroJSON([]byte(old), buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ScanWarm") {
+		t.Fatalf("compare output:\n%s", out)
+	}
+}

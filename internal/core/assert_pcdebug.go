@@ -1,0 +1,20 @@
+//go:build pcdebug
+
+package core
+
+import "fmt"
+
+// assertMemLocked panics unless the cache's aggregate memory counter equals
+// the sum of per-entry sizes — the invariant pc.cache_stats and the eviction
+// budget both depend on. Callers hold c.mu. ctx names the mutating call site
+// for the panic message.
+func (c *Cache) assertMemLocked(ctx string) {
+	sum := 0
+	for _, e := range c.entries {
+		sum += e.mem
+	}
+	if sum != c.mem {
+		panic(fmt.Sprintf("pcdebug: core.Cache.%s: mem counter %d != entry sum %d over %d entries",
+			ctx, c.mem, sum, len(c.entries)))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !pcdebug
+
+package core
+
+// assertMemLocked is a no-op without the pcdebug build tag; the release
+// build keeps cache mutations free of the O(entries) invariant walk.
+func (c *Cache) assertMemLocked(ctx string) {}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"github.com/predcache/predcache/internal/storage"
 )
@@ -228,6 +229,8 @@ func (c *Cache) Lookup(key string) (Candidates, bool) {
 	}
 	c.lruTouch(e)
 	c.stats.Hits++
+	e.hits++
+	e.lastHit = time.Now()
 	return c.materializeLocked(e), true
 }
 
@@ -263,6 +266,8 @@ func (c *Cache) Best(keys []string) (Candidates, bool) {
 	}
 	c.lruTouch(best)
 	c.stats.Hits++
+	best.hits++
+	best.lastHit = time.Now()
 	return c.materializeLocked(best), true
 }
 
@@ -332,6 +337,7 @@ func (c *Cache) Insert(key Key, tbl *storage.Table, epoch uint64, deps []BuildDe
 		deps:        deps,
 		kind:        c.cfg.Kind,
 		slices:      make([]sliceEntry, len(perSlice)),
+		createdAt:   time.Now(),
 	}
 	for i, ranges := range perSlice {
 		storage.AssertRowRanges(ranges, watermarks[i], "core.Cache.Insert")
@@ -355,6 +361,7 @@ func (c *Cache) Insert(key Key, tbl *storage.Table, epoch uint64, deps []BuildDe
 	c.mem += e.mem
 	c.stats.Inserts++
 	c.evictLocked()
+	c.assertMemLocked("Insert")
 }
 
 // Extend merges tail ranges — qualifying rows found beyond a slice's
@@ -403,6 +410,7 @@ func (c *Cache) Extend(key string, slice int, tailRanges []storage.RowRange, new
 	c.mem += e.mem
 	c.stats.Extends++
 	c.evictLocked()
+	c.assertMemLocked("Extend")
 }
 
 // InvalidateTable drops every entry scanning the given table (used on
@@ -417,6 +425,7 @@ func (c *Cache) InvalidateTable(name string) {
 			c.stats.Invalidations++
 		}
 	}
+	c.assertMemLocked("InvalidateTable")
 }
 
 // EntryMemBytes returns the memory of a single entry by key (0 if absent);
@@ -431,7 +440,7 @@ func (c *Cache) EntryMemBytes(key string) int {
 }
 
 // EntrySummary describes one cached entry for introspection (the pcsh
-// \entries command).
+// \entries command and the pc.cache_entries system table).
 type EntrySummary struct {
 	Key      string
 	Table    string
@@ -439,6 +448,17 @@ type EntrySummary struct {
 	EstRows  int
 	MemBytes int
 	SemiJoin bool
+	// Hits counts lookups this entry served; CreatedAt/LastHit timestamp its
+	// life (LastHit is zero until the first hit).
+	Hits      int64
+	CreatedAt time.Time
+	LastHit   time.Time
+	// Slices is the number of data slices covered; Ranges the total number of
+	// qualifying row ranges the entry materializes across them.
+	Slices int
+	Ranges int
+	// Epoch is the table layout epoch the entry was built against.
+	Epoch uint64
 }
 
 // Entries returns summaries of all cached entries in LRU order (most recent
@@ -448,13 +468,28 @@ func (c *Cache) Entries() []EntrySummary {
 	defer c.mu.Unlock()
 	var out []EntrySummary
 	for e := c.head; e != nil; e = e.lruNext {
+		ranges := 0
+		for i := range e.slices {
+			se := &e.slices[i]
+			if e.kind == RangeIndex {
+				ranges += len(se.ranges)
+			} else {
+				ranges += len(bitmapRanges(se.bitmap, c.cfg.RowsPerBlock, se.watermark))
+			}
+		}
 		out = append(out, EntrySummary{
-			Key:      e.key,
-			Table:    e.table.Name(),
-			Kind:     e.kind,
-			EstRows:  e.estRows(),
-			MemBytes: e.mem,
-			SemiJoin: len(e.deps) > 0,
+			Key:       e.key,
+			Table:     e.table.Name(),
+			Kind:      e.kind,
+			EstRows:   e.estRows(),
+			MemBytes:  e.mem,
+			SemiJoin:  len(e.deps) > 0,
+			Hits:      e.hits,
+			CreatedAt: e.createdAt,
+			LastHit:   e.lastHit,
+			Slices:    len(e.slices),
+			Ranges:    ranges,
+			Epoch:     e.layoutEpoch,
 		})
 	}
 	return out

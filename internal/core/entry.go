@@ -1,6 +1,10 @@
 package core
 
-import "github.com/predcache/predcache/internal/storage"
+import (
+	"time"
+
+	"github.com/predcache/predcache/internal/storage"
+)
 
 // EntryKind selects the physical representation of cached qualifying rows.
 type EntryKind uint8
@@ -38,6 +42,13 @@ type entry struct {
 	kind        EntryKind
 	slices      []sliceEntry
 	mem         int
+
+	// Introspection bookkeeping, written under the owning Cache's mutex:
+	// how often the entry served a lookup and when. Surfaced through
+	// pc.cache_entries.
+	hits      int64
+	createdAt time.Time
+	lastHit   time.Time
 
 	// LRU bookkeeping (owned by Cache).
 	lruPrev, lruNext *entry

@@ -36,6 +36,17 @@ func nodeLabel(n Node) string {
 		if t.Project != nil {
 			fmt.Fprintf(&b, " cols=%v", t.Project)
 		}
+	case *VirtualScan:
+		fmt.Fprintf(&b, "VirtualScan %s", t.Source.Name())
+		if t.Alias != "" {
+			fmt.Fprintf(&b, " as %s", t.Alias)
+		}
+		if t.Filter != nil {
+			fmt.Fprintf(&b, " filter=%s", t.Filter.Key())
+		}
+		if t.Project != nil {
+			fmt.Fprintf(&b, " cols=%v", t.Project)
+		}
 	case *Join:
 		fmt.Fprintf(&b, "Join %s on %v = %v", t.Type, t.LeftKeys, t.RightKeys)
 		if t.PushSemiJoin {

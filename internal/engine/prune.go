@@ -119,6 +119,32 @@ func pruneNode(n Node, need colSet, all bool, cat *storage.Catalog) {
 			proj = []string{name}
 		}
 		t.Project = proj
+	case *VirtualScan:
+		if all || t.Project != nil {
+			return
+		}
+		prefix := ""
+		if t.Alias != "" {
+			prefix = t.Alias + "."
+		}
+		schema := t.Source.Schema()
+		var proj []string
+		for _, def := range schema {
+			if need[prefix+def.Name] {
+				proj = append(proj, def.Name)
+			}
+		}
+		if len(proj) == 0 {
+			// Preserve the row count (count(*) over a bare virtual scan).
+			name := schema[0].Name
+			if t.Filter != nil {
+				if cols := t.Filter.Columns(nil); len(cols) > 0 {
+					name = cols[0]
+				}
+			}
+			proj = []string{name}
+		}
+		t.Project = proj
 	}
 }
 
@@ -144,6 +170,22 @@ func outputCols(n Node, cat *storage.Catalog) colSet {
 			return out
 		}
 		for _, def := range tbl.Schema() {
+			out[prefix+def.Name] = true
+		}
+		return out
+	case *VirtualScan:
+		prefix := ""
+		if t.Alias != "" {
+			prefix = t.Alias + "."
+		}
+		out := colSet{}
+		if t.Project != nil {
+			for _, name := range t.Project {
+				out[prefix+name] = true
+			}
+			return out
+		}
+		for _, def := range t.Source.Schema() {
 			out[prefix+def.Name] = true
 		}
 		return out

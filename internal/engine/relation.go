@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/predcache/predcache/internal/expr"
 	"github.com/predcache/predcache/internal/storage"
@@ -30,6 +31,14 @@ type Relation struct {
 	cols   []RelCol
 	byName map[string]int
 	n      int
+
+	// Stats and Wall describe the query execution that produced this
+	// relation. The DB facade attaches them to the result it hands back (a
+	// shallow per-query copy, so concurrent queries each see their own
+	// counters instead of racing on process-wide state); they are zero on
+	// intermediate relations inside a plan.
+	Stats storage.ScanStatsSnapshot
+	Wall  time.Duration
 }
 
 // NewRelation builds a relation from columns; all columns must have equal

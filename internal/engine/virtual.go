@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// VirtualTable is a provider of system-table rows (the `pc` schema): the
+// engine's own telemetry exposed through the normal scan contract. A
+// provider materializes its current state on demand; the snapshot is a
+// plain relation, so every downstream operator (filters, joins, aggregates)
+// works on it unchanged.
+type VirtualTable interface {
+	// Name is the qualified table name, e.g. "pc.query_log".
+	Name() string
+	// Schema describes the columns of the snapshot relation.
+	Schema() storage.Schema
+	// NumRows estimates the current row count (join-order planning only; the
+	// estimate may be stale by the time Snapshot runs).
+	NumRows() int
+	// Snapshot materializes the provider's rows. Columns use the base names
+	// from Schema, in schema order.
+	Snapshot() (*Relation, error)
+}
+
+// VirtualScan reads a virtual table: snapshot, filter, project. It mirrors
+// Scan's surface (Filter in base column names, Project as a base-name
+// subset, Alias prefixing output columns) but never touches the predicate
+// cache — system-table contents change with every query, so caching their
+// qualifying rows would be wrong by construction.
+type VirtualScan struct {
+	Source  VirtualTable
+	Filter  expr.Pred
+	Project []string
+	// Alias prefixes output columns as "alias.col" when set.
+	Alias string
+}
+
+// CacheDescriptor: virtual tables are volatile; never describe them for
+// predicate-cache keys or semi-join build sides.
+func (v *VirtualScan) CacheDescriptor(*ExecCtx) (string, []core.BuildDep, bool) {
+	return "", nil, false
+}
+
+// Execute snapshots the provider, filters, then projects/renames.
+func (v *VirtualScan) Execute(ec *ExecCtx) (rel *Relation, err error) {
+	sp := beginNodeSpan(ec, v)
+	defer func() { endNodeSpan(sp, rel, err) }()
+	snap, err := v.Source.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("engine: virtual table %s: %w", v.Source.Name(), err)
+	}
+	if _, trivial := v.Filter.(expr.TruePred); v.Filter != nil && !trivial {
+		bound, err := expr.Bind(v.Filter, snap)
+		if err != nil {
+			return nil, err
+		}
+		ctx := snap.blockCtx()
+		sel := make([]int, snap.NumRows())
+		for i := range sel {
+			sel[i] = i
+		}
+		sel = bound.Eval(ctx, sel)
+		snap = snap.gather(sel)
+	}
+	prefix := ""
+	if v.Alias != "" {
+		prefix = v.Alias + "."
+	}
+	names := v.Project
+	if names == nil {
+		schema := v.Source.Schema()
+		names = make([]string, len(schema))
+		for i, def := range schema {
+			names[i] = def.Name
+		}
+	}
+	out := make([]RelCol, 0, len(names))
+	for _, name := range names {
+		src := snap.ColByName(name)
+		if src == nil {
+			return nil, fmt.Errorf("engine: virtual table %s has no column %q", v.Source.Name(), name)
+		}
+		dst := *src
+		dst.Name = prefix + name
+		out = append(out, dst)
+	}
+	return NewRelation(out)
+}

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	predcache "github.com/predcache/predcache"
+)
+
+// This file closes the loop between the simulator and the engine: instead of
+// analyzing the simulated statement stream directly (fleet.go), it replays
+// the stream through a real database and regenerates the §2-style figures —
+// repetition rate, scan selectivity, predicate-cache hit evolution — purely
+// from SQL over the pc.query_log system table. The simulator's string
+// predicates map deterministically to range filters over a generated table,
+// so repeated scan templates become repeated SQL texts and the predicate
+// cache sees the repetition the paper measures.
+
+// ReplayConfig sizes a replay run.
+type ReplayConfig struct {
+	// Rows is the initial size of the backing table (default 20000).
+	Rows int
+	// MaxStatements caps how much of the cluster's stream is replayed
+	// (default: all of it).
+	MaxStatements int
+}
+
+// HitPoint is one sample of the cumulative predicate-cache hit rate.
+type HitPoint struct {
+	Seq     int64   // query-log sequence number of the sample
+	HitRate float64 // cumulative scan cache hits / (hits+misses) up to Seq
+}
+
+// ReplayResult holds the figures recomputed from pc.query_log after a replay.
+type ReplayResult struct {
+	Selects int // select statements replayed (and logged)
+	Appends int // ingestion statements applied to the table
+
+	// Repetition is the fraction of replayed queries whose SQL text occurs
+	// at least twice in the log (the Figure 1/4 metric, recomputed with a
+	// GROUP BY over pc.query_log).
+	Repetition float64
+	// Selectivities holds rows_qualified / rows_scanned per logged query
+	// with a non-empty scan (the §2 selectivity distribution).
+	Selectivities []float64
+	// HitEvolution samples the cumulative cache-hit rate over the stream in
+	// log order; the last point's rate is FinalHitRate.
+	HitEvolution []HitPoint
+	FinalHitRate float64
+}
+
+// predRange maps a simulated scan-predicate string to a deterministic range
+// filter over the replay table: same string, same SQL — which is exactly the
+// repetition structure the cache keys on.
+func predRange(pred string, rows int) (lo, hi int) {
+	h := fnv.New64a()
+	h.Write([]byte(pred))
+	v := h.Sum64()
+	lo = int(v % uint64(rows))
+	// Width between ~0.5% and ~5.5% of the table.
+	width := rows/200 + int((v>>32)%uint64(rows/20+1))
+	return lo, lo + width
+}
+
+// selectSQL renders one simulated select as SQL over the replay table.
+func selectSQL(st *Statement, rows int) string {
+	cond := ""
+	for i, sc := range st.Scans {
+		lo, hi := predRange(sc.Pred, rows)
+		if i > 0 {
+			cond += " or "
+		}
+		cond += fmt.Sprintf("v between %d and %d", lo, hi)
+	}
+	if cond == "" {
+		cond = "v >= 0"
+	}
+	return "select count(*) from f where " + cond
+}
+
+// intAt reads an integer cell, tolerating aggregate columns widened to float.
+func intAt(res *predcache.Result, row int, col string) int64 {
+	c := res.ColByName(col)
+	if len(c.Ints) > row {
+		return c.Ints[row]
+	}
+	return int64(c.Floats[row])
+}
+
+// ReplayCluster replays one simulated cluster's statement stream through a
+// real database and recomputes the workload figures from pc.query_log.
+func ReplayCluster(cl *Cluster, cfg ReplayConfig) (*ReplayResult, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = 20000
+	}
+	limit := cfg.MaxStatements
+	if limit <= 0 || limit > len(cl.Statements) {
+		limit = len(cl.Statements)
+	}
+	db := predcache.Open(
+		predcache.WithSlices(2),
+		// The log must retain the whole replay plus the analysis queries.
+		predcache.WithQueryLogCapacity(limit+16),
+	)
+	schema := predcache.Schema{{Name: "v", Type: predcache.Int64}}
+	if err := db.CreateTable("f", schema); err != nil {
+		return nil, err
+	}
+	appendRows := func(start, n int) error {
+		b := predcache.NewBatch(schema)
+		for i := 0; i < n; i++ {
+			b.Cols[0].Ints = append(b.Cols[0].Ints, int64((start+i)%rows))
+		}
+		b.N = n
+		return db.Insert("f", b)
+	}
+	if err := appendRows(0, rows); err != nil {
+		return nil, err
+	}
+
+	res := &ReplayResult{}
+	next := rows
+	for _, st := range cl.Statements[:limit] {
+		switch st.Kind {
+		case StSelect:
+			if _, err := db.Query(selectSQL(&st, rows)); err != nil {
+				return nil, fmt.Errorf("fleet: replay %q: %w", selectSQL(&st, rows), err)
+			}
+			res.Selects++
+		case StInsert, StCopy:
+			// Ingestion extends the table; cache entries stay valid below
+			// their watermark and extend on the next scan (§4.3.1).
+			if err := appendRows(next, 64); err != nil {
+				return nil, err
+			}
+			next += 64
+			res.Appends++
+		default:
+			// Deletes/updates/other are no-ops in the replay: the simulator
+			// carries no row identity to apply them to.
+		}
+	}
+
+	// Everything below is recomputed from the system table: the replayed
+	// queries occupy seq < res.Selects, and the analysis queries themselves
+	// land in the log after that bound.
+	bound := fmt.Sprintf("seq < %d", res.Selects)
+
+	rep, err := db.Query("select query_text, count(*) as n from pc.query_log where " + bound + " group by query_text")
+	if err != nil {
+		return nil, err
+	}
+	total, repeated := int64(0), int64(0)
+	for i := 0; i < rep.NumRows(); i++ {
+		n := intAt(rep, i, "n")
+		total += n
+		if n >= 2 {
+			repeated += n
+		}
+	}
+	if total > 0 {
+		res.Repetition = float64(repeated) / float64(total)
+	}
+
+	sel, err := db.Query("select rows_scanned, rows_qualified from pc.query_log where " + bound + " and rows_scanned > 0")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sel.NumRows(); i++ {
+		res.Selectivities = append(res.Selectivities,
+			float64(intAt(sel, i, "rows_qualified"))/float64(intAt(sel, i, "rows_scanned")))
+	}
+
+	evo, err := db.Query("select seq, cache_hits, cache_misses from pc.query_log where " + bound + " order by seq")
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := int64(0), int64(0)
+	stride := evo.NumRows()/20 + 1
+	for i := 0; i < evo.NumRows(); i++ {
+		hits += intAt(evo, i, "cache_hits")
+		misses += intAt(evo, i, "cache_misses")
+		if lookups := hits + misses; lookups > 0 && (i%stride == stride-1 || i == evo.NumRows()-1) {
+			res.HitEvolution = append(res.HitEvolution, HitPoint{
+				Seq:     intAt(evo, i, "seq"),
+				HitRate: float64(hits) / float64(lookups),
+			})
+		}
+	}
+	if n := len(res.HitEvolution); n > 0 {
+		res.FinalHitRate = res.HitEvolution[n-1].HitRate
+	}
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// replayCluster picks the first simulated cluster with a reasonable number
+// of selects so the replay exercises repetition.
+func replayCluster(t *testing.T) *Cluster {
+	t.Helper()
+	f := Simulate(Config{Clusters: 6, MinStatements: 300, MaxStatements: 400, Seed: 7})
+	for _, cl := range f.Clusters {
+		selects := 0
+		for _, st := range cl.Statements {
+			if st.Kind == StSelect {
+				selects++
+			}
+		}
+		if selects >= 100 && cl.repetitiveness >= 0.5 {
+			return cl
+		}
+	}
+	t.Fatal("no suitable cluster in simulation")
+	return nil
+}
+
+func TestReplayClusterRegeneratesFigures(t *testing.T) {
+	cl := replayCluster(t)
+	res, err := ReplayCluster(cl, ReplayConfig{Rows: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selects < 100 {
+		t.Fatalf("replayed only %d selects", res.Selects)
+	}
+
+	// The repetition rate recomputed through SQL over pc.query_log must
+	// equal the direct computation over the SQL texts the replay issued.
+	var texts []string
+	n := 0
+	for _, st := range cl.Statements {
+		if st.Kind == StSelect {
+			texts = append(texts, selectSQL(&st, 10000))
+			n++
+			if n == res.Selects {
+				break
+			}
+		}
+	}
+	if want := repetitionRate(texts); res.Repetition != want {
+		t.Fatalf("SQL-derived repetition %.4f != direct %.4f", res.Repetition, want)
+	}
+	if res.Repetition <= 0 {
+		t.Fatal("repetitive cluster showed zero repetition")
+	}
+
+	// Selectivities are observed per logged query and must be valid ratios.
+	if len(res.Selectivities) == 0 {
+		t.Fatal("no selectivities recorded")
+	}
+	for i, s := range res.Selectivities {
+		if s < 0 || s > 1 {
+			t.Fatalf("selectivity[%d] = %f out of range", i, s)
+		}
+	}
+
+	// A repetitive stream must warm the predicate cache: the cumulative hit
+	// rate is monotone in lookups served and ends above zero.
+	if len(res.HitEvolution) == 0 || res.FinalHitRate <= 0 {
+		t.Fatalf("cache never warmed: %+v", res.HitEvolution)
+	}
+	first, last := res.HitEvolution[0], res.HitEvolution[len(res.HitEvolution)-1]
+	if last.HitRate < first.HitRate {
+		t.Fatalf("hit rate fell from %.3f to %.3f over the stream", first.HitRate, last.HitRate)
+	}
+	if last.Seq <= first.Seq {
+		t.Fatalf("evolution not in log order: %+v", res.HitEvolution)
+	}
+}
+
+func TestReplayClusterCapsStatements(t *testing.T) {
+	cl := replayCluster(t)
+	res, err := ReplayCluster(cl, ReplayConfig{Rows: 5000, MaxStatements: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selects+res.Appends > 50 {
+		t.Fatalf("cap ignored: %d selects + %d appends", res.Selects, res.Appends)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -192,13 +193,22 @@ func validLabelName(name string) bool {
 }
 
 func parseSampleValue(s string) (float64, error) {
+	// Non-finite sample values are syntactically legal in the exposition
+	// format, but every metric this engine exports is a count, byte size or
+	// duration — a NaN or infinite sample means a broken gauge function (e.g.
+	// a ratio dividing by zero), so the validator rejects them rather than
+	// letting a malformed-looking scrape reach a collector. Histogram
+	// le="+Inf" bucket bounds are label values and are unaffected.
 	switch s {
-	case "+Inf", "-Inf", "NaN":
-		return 0, nil
+	case "+Inf", "-Inf", "NaN", "+NaN", "-NaN", "Inf":
+		return 0, fmt.Errorf("non-finite sample value %q", s)
 	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite sample value %q", s)
 	}
 	return v, nil
 }

@@ -249,6 +249,44 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	return nil
 }
 
+// MetricSample is one flattened sample of the registry: counters and gauges
+// map to one sample each, histograms to a <name>_count and a <name>_sum
+// sample (per-bucket counts stay in the Prometheus exposition; the flat view
+// backs the pc.metrics system table, which wants one value per row).
+type MetricSample struct {
+	Name  string
+	Type  string // "counter", "gauge" or "histogram"
+	Help  string
+	Value float64
+}
+
+// Samples returns the registry flattened to (name, type, help, value) rows
+// in registration order, reading pull-style metrics at call time.
+func (m *Metrics) Samples() []MetricSample {
+	m.mu.Lock()
+	metrics := m.snapshotLocked()
+	m.mu.Unlock()
+	out := make([]MetricSample, 0, len(metrics))
+	for _, mt := range metrics {
+		switch {
+		case mt.counter != nil:
+			out = append(out, MetricSample{mt.name, mt.typ, mt.help, float64(mt.counter.Value())})
+		case mt.counterFn != nil:
+			out = append(out, MetricSample{mt.name, mt.typ, mt.help, float64(mt.counterFn())})
+		case mt.gaugeFn != nil:
+			out = append(out, MetricSample{mt.name, mt.typ, mt.help, mt.gaugeFn()})
+		case mt.hist != nil:
+			mt.hist.mu.Lock()
+			n, sum := mt.hist.n, mt.hist.sum
+			mt.hist.mu.Unlock()
+			out = append(out,
+				MetricSample{mt.name + "_count", mt.typ, mt.help, float64(n)},
+				MetricSample{mt.name + "_sum", mt.typ, mt.help, sum})
+		}
+	}
+	return out
+}
+
 func formatFloat(v float64) string {
 	if math.IsInf(v, +1) {
 		return "+Inf"

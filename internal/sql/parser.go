@@ -180,7 +180,17 @@ func (p *parser) parseTableRef() (TableRef, error) {
 	if t.kind != tokIdent || reserved[t.text] {
 		return TableRef{}, fmt.Errorf("sql: expected table name, got %q", t.text)
 	}
-	ref := TableRef{Table: t.text}
+	name := t.text
+	// Schema-qualified name (the reserved `pc` system schema): keep the
+	// qualified form as the table name.
+	if p.accept(".") {
+		t2 := p.next()
+		if t2.kind != tokIdent || reserved[t2.text] {
+			return TableRef{}, fmt.Errorf("sql: expected table after %q.", name)
+		}
+		name = name + "." + t2.text
+	}
+	ref := TableRef{Table: name}
 	p.accept("as")
 	if nt := p.peek(); nt.kind == tokIdent && !reserved[nt.text] {
 		ref.Alias = p.next().text

@@ -21,23 +21,44 @@ import (
 //     pushdown (§4.4),
 //   - lowers aggregates, HAVING, ORDER BY and LIMIT.
 func Plan(stmt *SelectStmt, cat *storage.Catalog) (engine.Node, error) {
-	pl := &planner{cat: cat, stmt: stmt}
+	return PlanWith(stmt, cat, nil)
+}
+
+// VirtualResolver resolves schema-qualified system-table names (the `pc`
+// schema) to their providers. A nil resolver plans against base tables only.
+type VirtualResolver interface {
+	VirtualTable(name string) (engine.VirtualTable, bool)
+}
+
+// PlanWith plans a statement against the catalog plus a resolver for
+// virtual system tables, which lower to engine.VirtualScan nodes.
+func PlanWith(stmt *SelectStmt, cat *storage.Catalog, virt VirtualResolver) (engine.Node, error) {
+	pl := &planner{cat: cat, virt: virt, stmt: stmt}
 	return pl.plan()
 }
 
 // PlanSQL parses and plans in one step.
 func PlanSQL(query string, cat *storage.Catalog) (engine.Node, error) {
+	return PlanSQLWith(query, cat, nil)
+}
+
+// PlanSQLWith parses and plans with virtual-table resolution.
+func PlanSQLWith(query string, cat *storage.Catalog, virt VirtualResolver) (engine.Node, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Plan(stmt, cat)
+	return PlanWith(stmt, cat, virt)
 }
 
 type tableInfo struct {
-	ref  TableRef
-	tbl  *storage.Table
-	rows int
+	ref TableRef
+	// Exactly one of tbl (base table) and vt (virtual system table) is set;
+	// schema and rows describe whichever it is.
+	tbl    *storage.Table
+	vt     engine.VirtualTable
+	schema storage.Schema
+	rows   int
 	// filters are single-table conjuncts in base-column names.
 	filters []expr.Pred
 }
@@ -49,6 +70,7 @@ type joinEdge struct {
 
 type planner struct {
 	cat  *storage.Catalog
+	virt VirtualResolver
 	stmt *SelectStmt
 
 	tables []*tableInfo
@@ -74,7 +96,7 @@ func (pl *planner) resolve(name string) (int, string, error) {
 		alias, col := name[:i], name[i+1:]
 		for ti, t := range pl.tables {
 			if t.ref.Alias == alias || (t.ref.Alias == "" && t.ref.Table == alias) {
-				if t.tbl.ColumnIndex(col) < 0 {
+				if t.schema.ColumnIndex(col) < 0 {
 					return 0, "", fmt.Errorf("sql: table %s has no column %q", t.ref.Table, col)
 				}
 				return ti, col, nil
@@ -108,9 +130,15 @@ func (pl *planner) plan() (engine.Node, error) {
 	pl.colOwner = make(map[string]int)
 	seen := map[string]bool{}
 	for _, ref := range pl.stmt.From {
-		tbl, ok := pl.cat.Table(ref.Table)
-		if !ok {
-			return nil, fmt.Errorf("sql: unknown table %q", ref.Table)
+		ti := len(pl.tables)
+		if vt, ok := pl.resolveVirtual(ref.Table); ok {
+			pl.tables = append(pl.tables, &tableInfo{ref: ref, vt: vt, schema: vt.Schema(), rows: vt.NumRows()})
+		} else {
+			tbl, ok := pl.cat.Table(ref.Table)
+			if !ok {
+				return nil, fmt.Errorf("sql: unknown table %q", ref.Table)
+			}
+			pl.tables = append(pl.tables, &tableInfo{ref: ref, tbl: tbl, schema: tbl.Schema(), rows: tbl.NumRows()})
 		}
 		key := ref.Alias
 		if key == "" {
@@ -120,9 +148,7 @@ func (pl *planner) plan() (engine.Node, error) {
 			return nil, fmt.Errorf("sql: duplicate table reference %q (use aliases)", key)
 		}
 		seen[key] = true
-		ti := len(pl.tables)
-		pl.tables = append(pl.tables, &tableInfo{ref: ref, tbl: tbl, rows: tbl.NumRows()})
-		for _, def := range tbl.Schema() {
+		for _, def := range pl.tables[ti].schema {
 			if prev, ok := pl.colOwner[def.Name]; ok && prev != ti {
 				pl.colOwner[def.Name] = -2
 			} else {
@@ -354,9 +380,24 @@ func rewriteToBase(p expr.Pred, rename func(string) (string, error)) (expr.Pred,
 	return nil, fmt.Errorf("sql: cannot rewrite predicate %T", p)
 }
 
+// resolveVirtual maps a (qualified) table name to its virtual provider.
+func (pl *planner) resolveVirtual(name string) (engine.VirtualTable, bool) {
+	if pl.virt == nil {
+		return nil, false
+	}
+	return pl.virt.VirtualTable(name)
+}
+
 // scanFor builds the scan node for table ti.
 func (pl *planner) scanFor(ti int) engine.Node {
 	t := pl.tables[ti]
+	if t.vt != nil {
+		return &engine.VirtualScan{
+			Source: t.vt,
+			Filter: expr.And(t.filters...),
+			Alias:  t.ref.Alias,
+		}
+	}
 	return &engine.Scan{
 		Table:  t.ref.Table,
 		Filter: expr.And(t.filters...),
@@ -459,6 +500,10 @@ func (pl *planner) buildJoinTree() (engine.Node, error) {
 // probe key on the given (relation-level) column.
 func (pl *planner) edgeFanout(ti int, relCol string) float64 {
 	t := pl.tables[ti]
+	if t.tbl == nil {
+		// Virtual tables carry no distinct-count statistics; assume key-like.
+		return 1
+	}
 	col := relCol
 	if a := t.ref.Alias; a != "" && strings.HasPrefix(relCol, a+".") {
 		col = relCol[len(a)+1:]

@@ -1,0 +1,62 @@
+package storage
+
+// ColumnStorageStats describes the physical layout of one table column
+// across all data slices: block counts by encoding, the open insert-buffer
+// tail, and byte footprints. The pc.table_storage system table is built
+// from these rows.
+type ColumnStorageStats struct {
+	Column string
+	Type   ColumnType
+	// Rows is the column's value count (equal across columns of a table);
+	// Blocks counts sealed compressed blocks plus one per non-empty tail.
+	Rows   int
+	Blocks int
+	// Sealed block counts by physical encoding. Float columns always report
+	// RawBlocks (floats are stored verbatim).
+	RawBlocks int
+	RLEBlocks int
+	FORBlocks int
+	// TailRows counts values still in the open insert-buffer tail (§4.3.1).
+	TailRows int
+	// PayloadBytes is the compressed payload plus tail; ZoneMapBytes the
+	// per-block min-max bounds; DictBytes the shared string dictionary
+	// (reported once per column, 0 for non-strings).
+	PayloadBytes int
+	ZoneMapBytes int
+	DictBytes    int
+}
+
+// StorageStats returns per-column physical storage statistics aggregated
+// over the table's slices, in schema order. It takes the table read lock, so
+// the row counts are consistent with a momentary snapshot.
+func (t *Table) StorageStats() []ColumnStorageStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ColumnStorageStats, len(t.schema))
+	for ci, def := range t.schema {
+		st := ColumnStorageStats{Column: def.Name, Type: def.Type}
+		for _, s := range t.slices {
+			c := s.cols[ci]
+			st.Rows += c.Len()
+			st.Blocks += c.NumBlocks()
+			for _, b := range c.blocks {
+				switch b.Enc {
+				case EncRLE:
+					st.RLEBlocks++
+				case EncFOR:
+					st.FORBlocks++
+				default:
+					st.RawBlocks++
+				}
+			}
+			st.TailRows += len(c.tailInts) + len(c.tailFloats)
+			st.PayloadBytes += c.MemBytes()
+			st.ZoneMapBytes += c.ZoneMapBytes()
+		}
+		if d := t.dicts[ci]; d != nil {
+			st.DictBytes = d.MemBytes()
+		}
+		out[ci] = st
+	}
+	return out
+}

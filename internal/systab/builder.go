@@ -1,0 +1,77 @@
+package systab
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// builder accumulates rows for a snapshot relation, one typed column per
+// schema entry. System-table snapshots are cold paths (they materialize on
+// every reference), so the builder favors clarity over allocation economy.
+type builder struct {
+	schema storage.Schema
+	cols   []engine.RelCol
+}
+
+func newBuilder(schema storage.Schema) *builder {
+	b := &builder{schema: schema, cols: make([]engine.RelCol, len(schema))}
+	for i, def := range schema {
+		b.cols[i] = engine.RelCol{Name: def.Name, Type: def.Type}
+		if def.Type == storage.String {
+			b.cols[i].Dict = storage.NewDict()
+		}
+	}
+	return b
+}
+
+// row appends one row; vals must match the schema in order. Accepted value
+// kinds per column type: Int64 takes int64/int/uint64, Float64 takes
+// float64, String takes string, Bool takes bool, Date takes int64 day
+// numbers. A mismatch is a provider bug and panics.
+func (b *builder) row(vals ...any) {
+	if len(vals) != len(b.schema) {
+		panic(fmt.Sprintf("systab: row has %d values, schema has %d columns", len(vals), len(b.schema)))
+	}
+	for i, v := range vals {
+		col := &b.cols[i]
+		switch b.schema[i].Type {
+		case storage.Float64:
+			col.Floats = append(col.Floats, v.(float64))
+		case storage.String:
+			col.Ints = append(col.Ints, col.Dict.Code(v.(string)))
+		case storage.Bool:
+			n := int64(0)
+			if v.(bool) {
+				n = 1
+			}
+			col.Ints = append(col.Ints, n)
+		default: // Int64, Date
+			switch t := v.(type) {
+			case int64:
+				col.Ints = append(col.Ints, t)
+			case int:
+				col.Ints = append(col.Ints, int64(t))
+			case uint64:
+				col.Ints = append(col.Ints, int64(t))
+			default:
+				panic(fmt.Sprintf("systab: column %s: unsupported value %T", b.schema[i].Name, v))
+			}
+		}
+	}
+}
+
+func (b *builder) relation() (*engine.Relation, error) {
+	return engine.NewRelation(b.cols)
+}
+
+// micros renders a timestamp as microseconds since the Unix epoch; the zero
+// time maps to 0 ("never").
+func micros(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMicro()
+}

@@ -1,0 +1,173 @@
+package systab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// QueryRecord is one row of pc.query_log: everything the engine knows about
+// a finished query. Durations are microseconds (analytic queries at this
+// scale run 10µs–10s; microseconds keep the integers human-readable while
+// never rounding a kernel invocation to zero).
+type QueryRecord struct {
+	// Seq is a process-wide monotone sequence number assigned at record
+	// time; queries appear in the log in completion order.
+	Seq int64 `json:"seq"`
+	// StartMicros is the query's wall-clock start, microseconds since the
+	// Unix epoch.
+	StartMicros int64 `json:"start_micros"`
+	// SQL is the query text; empty for hand-built plans run through
+	// DB.Run/RunCtx (the recorder never re-renders plan trees — keeping the
+	// hot path allocation-free matters more than naming them).
+	SQL string `json:"query_text,omitempty"`
+	// Error is the failure message, empty on success. Parse and plan
+	// failures are recorded too: a query history that silently drops the
+	// queries that went wrong is useless for debugging.
+	Error string `json:"error,omitempty"`
+
+	WallMicros  int64 `json:"wall_us"`
+	ParseMicros int64 `json:"parse_us"`
+	PlanMicros  int64 `json:"plan_us"`
+	ExecMicros  int64 `json:"exec_us"`
+
+	// Rows is the result cardinality (0 on error).
+	Rows int64 `json:"result_rows"`
+
+	// Scan-level counters, aggregated over every scan in the plan.
+	RowsScanned         int64 `json:"rows_scanned"`
+	RowsQualified       int64 `json:"rows_qualified"`
+	RowsDecoded         int64 `json:"rows_decoded"`
+	BlocksAccessed      int64 `json:"blocks_accessed"`
+	BlocksDecoded       int64 `json:"blocks_decoded"`
+	BlocksKernel        int64 `json:"blocks_kernel"`
+	BlocksPrunedZoneMap int64 `json:"blocks_pruned_zonemap"`
+	BlocksPrunedCache   int64 `json:"blocks_pruned_cache"`
+	CacheHits           int64 `json:"cache_hits"`
+	CacheMisses         int64 `json:"cache_misses"`
+
+	// Slow marks queries at or above the recorder's slow-query threshold.
+	Slow bool `json:"slow,omitempty"`
+}
+
+// FillStats copies the scan counters out of a stats snapshot.
+func (r *QueryRecord) FillStats(s storage.ScanStatsSnapshot) {
+	r.RowsScanned = s.RowsScanned
+	r.RowsQualified = s.RowsQualified
+	r.RowsDecoded = s.RowsDecoded
+	r.BlocksAccessed = s.BlocksAccessed
+	r.BlocksDecoded = s.BlocksDecoded
+	r.BlocksKernel = s.BlocksKernel
+	r.BlocksPrunedZoneMap = s.BlocksSkipped
+	r.BlocksPrunedCache = s.BlocksPrunedCache
+	r.CacheHits = s.CacheHits
+	r.CacheMisses = s.CacheMisses
+}
+
+// QueryRecorder is a bounded, always-on query history: a preallocated ring
+// buffer of QueryRecords. Recording one query is a mutex acquire plus a
+// struct copy — no allocation — so it stays on for every query, matching
+// the paper's premise that the workload telemetry the cache learns from
+// (§2) is collected continuously, not sampled.
+//
+// A nil *QueryRecorder is valid and drops every record (recording
+// disabled).
+type QueryRecorder struct {
+	mu   sync.Mutex
+	buf  []QueryRecord // ring storage, len == capacity
+	next int           // guarded by mu; next write position
+	n    int           // guarded by mu; number of valid records (≤ len(buf))
+	seq  int64         // guarded by mu; total records ever, next Seq value
+	slow time.Duration // immutable after NewQueryRecorder
+}
+
+// NewQueryRecorder creates a recorder holding the most recent capacity
+// records. Queries with wall time ≥ slowThreshold are flagged slow
+// (slowThreshold ≤ 0 flags none).
+func NewQueryRecorder(capacity int, slowThreshold time.Duration) *QueryRecorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &QueryRecorder{buf: make([]QueryRecord, capacity), slow: slowThreshold}
+}
+
+// Record appends one query record, overwriting the oldest when full. It
+// assigns rec.Seq and the Slow flag.
+func (q *QueryRecorder) Record(rec QueryRecord) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	rec.Seq = q.seq
+	q.seq++
+	rec.Slow = q.slow > 0 && time.Duration(rec.WallMicros)*time.Microsecond >= q.slow
+	q.buf[q.next] = rec
+	q.next = (q.next + 1) % len(q.buf)
+	if q.n < len(q.buf) {
+		q.n++
+	}
+	q.mu.Unlock()
+}
+
+// Records returns the retained history, oldest first.
+func (q *QueryRecorder) Records() []QueryRecord {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]QueryRecord, 0, q.n)
+	start := q.next - q.n
+	if start < 0 {
+		start += len(q.buf)
+	}
+	for i := 0; i < q.n; i++ {
+		out = append(out, q.buf[(start+i)%len(q.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (q *QueryRecorder) Len() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Total returns the number of records ever made (retained or overwritten);
+// it is also the next sequence number.
+func (q *QueryRecorder) Total() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.seq
+}
+
+// Capacity returns the ring size (0 for a nil recorder).
+func (q *QueryRecorder) Capacity() int {
+	if q == nil {
+		return 0
+	}
+	return len(q.buf)
+}
+
+// WriteJSONL streams the retained history, oldest first, one JSON object
+// per line.
+func (q *QueryRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range q.Records() {
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("systab: write query log: %w", err)
+		}
+	}
+	return nil
+}

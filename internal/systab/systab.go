@@ -1,0 +1,68 @@
+// Package systab implements the `pc` system schema: virtual tables that
+// expose the engine's own telemetry — query history, predicate-cache
+// contents, physical storage layout, and the metrics registry — through the
+// normal SQL surface (the STL/SVL-style introspection cloud warehouses
+// ship). Providers materialize a snapshot relation on demand; the planner
+// lowers references to them into engine.VirtualScan nodes, so filters,
+// joins and aggregates against user tables all work unchanged.
+package systab
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/predcache/predcache/internal/engine"
+)
+
+// SchemaPrefix is the reserved schema qualifier for system tables. User
+// tables cannot be created under it.
+const SchemaPrefix = "pc."
+
+// Registry maps qualified system-table names to their providers. It
+// implements sql.VirtualResolver. Safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	tables map[string]engine.VirtualTable
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tables: make(map[string]engine.VirtualTable)}
+}
+
+// Register adds a provider under its own Name(). Registering a name twice
+// or one outside the pc schema is a programming error.
+func (r *Registry) Register(vt engine.VirtualTable) error {
+	name := vt.Name()
+	if len(name) <= len(SchemaPrefix) || name[:len(SchemaPrefix)] != SchemaPrefix {
+		return fmt.Errorf("systab: table %q is not in the %s schema", name, SchemaPrefix)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tables[name]; dup {
+		return fmt.Errorf("systab: table %q already registered", name)
+	}
+	r.tables[name] = vt
+	return nil
+}
+
+// VirtualTable resolves a qualified name; implements sql.VirtualResolver.
+func (r *Registry) VirtualTable(name string) (engine.VirtualTable, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	vt, ok := r.tables[name]
+	return vt, ok
+}
+
+// Names returns the registered table names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for name := range r.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -75,6 +75,7 @@ func (db *DB) EnableMetrics(m *obs.Metrics) {
 		db.cache.RegisterMetrics(m)
 	}
 	db.metrics.Store(qm)
+	db.metricsReg.Store(m)
 }
 
 // record feeds one query execution into the instruments.

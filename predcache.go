@@ -30,6 +30,7 @@ import (
 	"github.com/predcache/predcache/internal/obs"
 	"github.com/predcache/predcache/internal/sql"
 	"github.com/predcache/predcache/internal/storage"
+	"github.com/predcache/predcache/internal/systab"
 )
 
 // Re-exported storage types: the public surface of table definitions.
@@ -89,6 +90,18 @@ type DB struct {
 	// metrics is nil until EnableMetrics installs the registered instruments;
 	// queries load it once per execution.
 	metrics atomic.Pointer[queryMetrics]
+
+	// metricsReg remembers the registry EnableMetrics was called with so
+	// pc.metrics can snapshot it.
+	metricsReg atomic.Pointer[obs.Metrics]
+
+	// sysTables resolves pc.* references; qlog is the always-on query
+	// history behind pc.query_log (nil when disabled). Both are immutable
+	// after Open; qlogCap and slowQuery only carry option values into Open.
+	sysTables *systab.Registry
+	qlog      *systab.QueryRecorder
+	qlogCap   int
+	slowQuery time.Duration
 }
 
 // Option configures Open.
@@ -125,13 +138,31 @@ func WithMetrics(m *obs.Metrics) Option {
 // Open creates an empty in-memory database.
 func Open(opts ...Option) *DB {
 	db := &DB{
-		cat:      storage.NewCatalog(),
-		cache:    core.NewCache(core.DefaultConfig()),
-		slices:   4,
-		parallel: true,
+		cat:       storage.NewCatalog(),
+		cache:     core.NewCache(core.DefaultConfig()),
+		slices:    4,
+		parallel:  true,
+		qlogCap:   DefaultQueryLogCapacity,
+		slowQuery: DefaultSlowQueryThreshold,
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	// The system schema binds to whatever cache/recorder configuration the
+	// options settled on, so it is built last.
+	db.qlog = systab.NewQueryRecorder(db.qlogCap, db.slowQuery)
+	db.sysTables = systab.NewRegistry()
+	for _, vt := range []engine.VirtualTable{
+		systab.QueryLogTable(db.qlog),
+		systab.CacheEntriesTable(db.cache),
+		systab.CacheStatsTable(db.cache),
+		systab.TableStorageTable(db.cat),
+		systab.MetricsTable(db.metricsReg.Load),
+	} {
+		if err := db.sysTables.Register(vt); err != nil {
+			// Names are compile-time constants; a clash is a programming error.
+			panic(err)
+		}
 	}
 	return db
 }
@@ -145,8 +176,12 @@ func (db *DB) Catalog() *storage.Catalog { return db.cat }
 func (db *DB) PredicateCache() *core.Cache { return db.cache }
 
 // CreateTable registers a new table. sortKey columns (optional) define the
-// physical sort order maintained by Vacuum.
+// physical sort order maintained by Vacuum. Names under the reserved system
+// schema ("pc.") are rejected.
 func (db *DB) CreateTable(name string, schema Schema, sortKey ...string) error {
+	if strings.HasPrefix(name, systab.SchemaPrefix) {
+		return fmt.Errorf("predcache: %q is reserved for system tables", systab.SchemaPrefix)
+	}
 	_, err := db.cat.CreateTable(name, schema, db.slices, sortKey...)
 	return err
 }
@@ -419,40 +454,108 @@ func (db *DB) Query(query string) (*Result, error) {
 		}
 		return engine.TextRelation("plan", strings.Split(strings.TrimRight(text, "\n"), "\n")), nil
 	}
-	node, err := sql.PlanSQL(query, db.cat)
+	meta := queryMeta{sql: query, start: time.Now()}
+	stmt, err := sql.Parse(query)
+	meta.parse = time.Since(meta.start)
 	if err != nil {
+		db.recordFailed(meta, err)
 		return nil, err
 	}
-	return db.Run(node)
-}
-
-// runInternal is the shared execution tail of Run, RunCtx and
-// ExplainAnalyze: it times the execution, feeds the registered metrics, and
-// saves the stats snapshot behind LastQueryStats.
-func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
-	start := time.Now()
-	rel, err := node.Execute(ec)
-	snap := ec.Stats.Snapshot()
-	db.metrics.Load().record(time.Since(start), snap, err)
+	planStart := time.Now()
+	node, err := sql.PlanWith(stmt, db.cat, db.sysTables)
+	meta.plan = time.Since(planStart)
 	if err != nil {
+		db.recordFailed(meta, err)
 		return nil, err
 	}
-	db.mu.Lock()
-	db.last = snap
-	db.mu.Unlock()
-	return rel, nil
+	return db.runInternal(node, db.execCtx(), meta)
 }
 
-// Run executes a prepared plan.
-func (db *DB) Run(node engine.Node) (*Result, error) {
-	ec := &engine.ExecCtx{
+// queryMeta carries front-end context (query text, phase timings) into the
+// shared execution tail; the zero value describes a hand-built plan.
+type queryMeta struct {
+	sql         string
+	start       time.Time
+	parse, plan time.Duration
+}
+
+// recordFailed logs a query that never reached execution (parse or plan
+// error).
+func (db *DB) recordFailed(meta queryMeta, err error) {
+	if db.qlog == nil {
+		return
+	}
+	rec := systab.QueryRecord{
+		StartMicros: meta.start.UnixMicro(),
+		SQL:         meta.sql,
+		Error:       err.Error(),
+		WallMicros:  time.Since(meta.start).Microseconds(),
+		ParseMicros: meta.parse.Microseconds(),
+		PlanMicros:  meta.plan.Microseconds(),
+	}
+	db.qlog.Record(rec)
+}
+
+// execCtx builds the default execution context Run and Query share.
+func (db *DB) execCtx() *engine.ExecCtx {
+	return &engine.ExecCtx{
 		Catalog:  db.cat,
 		Cache:    db.cache,
 		Snapshot: db.cat.Snapshot(),
 		Stats:    &storage.ScanStats{},
 		Parallel: db.parallel,
 	}
-	return db.runInternal(node, ec)
+}
+
+// runInternal is the shared execution tail of Query, Run, RunCtx and
+// ExplainAnalyze: it times the execution, feeds the registered metrics and
+// the query log, saves the stats snapshot behind LastQueryStats, and hands
+// back a shallow copy of the result with the per-query counters attached —
+// concurrent callers each see their own Result.Stats instead of racing on
+// the DB-wide accessor.
+func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) (*Result, error) {
+	if meta.start.IsZero() {
+		meta.start = time.Now()
+	}
+	execStart := time.Now()
+	rel, err := node.Execute(ec)
+	exec := time.Since(execStart)
+	snap := ec.Stats.Snapshot()
+	db.metrics.Load().record(exec, snap, err)
+	if db.qlog != nil {
+		rec := systab.QueryRecord{
+			StartMicros: meta.start.UnixMicro(),
+			SQL:         meta.sql,
+			WallMicros:  time.Since(meta.start).Microseconds(),
+			ParseMicros: meta.parse.Microseconds(),
+			PlanMicros:  meta.plan.Microseconds(),
+			ExecMicros:  exec.Microseconds(),
+		}
+		rec.FillStats(snap)
+		if err != nil {
+			rec.Error = err.Error()
+		} else {
+			rec.Rows = int64(rel.NumRows())
+		}
+		db.qlog.Record(rec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.last = snap
+	db.mu.Unlock()
+	// Shallow copy: node results can be shared (Materialized plans), so the
+	// per-query fields must never be written onto the node's relation.
+	out := *rel
+	out.Stats = snap
+	out.Wall = time.Since(meta.start)
+	return &out, nil
+}
+
+// Run executes a prepared plan.
+func (db *DB) Run(node engine.Node) (*Result, error) {
+	return db.runInternal(node, db.execCtx(), queryMeta{})
 }
 
 // RunCtx executes a plan with a caller-provided execution context (the
@@ -473,7 +576,7 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 	if !ec.Parallel && !ec.Serial {
 		ec.Parallel = db.parallel
 	}
-	return db.runInternal(node, ec)
+	return db.runInternal(node, ec, queryMeta{})
 }
 
 // ExplainAnalyze executes query with tracing enabled and renders the span
@@ -483,28 +586,28 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 // scans that produced them. A totals line mirrors LastQueryStats.
 func (db *DB) ExplainAnalyze(query string) (string, error) {
 	tr := obs.NewTrace()
+	meta := queryMeta{sql: query, start: time.Now()}
 	psp := tr.Begin(obs.KindPhase, "parse")
 	stmt, err := sql.Parse(query)
 	psp.End()
+	meta.parse = time.Since(meta.start)
 	if err != nil {
+		db.recordFailed(meta, err)
 		return "", err
 	}
+	planStart := time.Now()
 	lsp := tr.Begin(obs.KindPhase, "plan")
-	node, err := sql.Plan(stmt, db.cat)
+	node, err := sql.PlanWith(stmt, db.cat, db.sysTables)
 	lsp.End()
+	meta.plan = time.Since(planStart)
 	if err != nil {
+		db.recordFailed(meta, err)
 		return "", err
 	}
-	ec := &engine.ExecCtx{
-		Catalog:  db.cat,
-		Cache:    db.cache,
-		Snapshot: db.cat.Snapshot(),
-		Stats:    &storage.ScanStats{},
-		Parallel: db.parallel,
-		Trace:    tr,
-	}
+	ec := db.execCtx()
+	ec.Trace = tr
 	esp := tr.Begin(obs.KindPhase, "execute")
-	rel, err := db.runInternal(node, ec)
+	rel, err := db.runInternal(node, ec, meta)
 	esp.End()
 	if err != nil {
 		return "", err
@@ -520,9 +623,10 @@ func (db *DB) ExplainAnalyze(query string) (string, error) {
 	return b.String(), nil
 }
 
-// Plan parses and plans a SELECT without executing it.
+// Plan parses and plans a SELECT without executing it. System tables (pc.*)
+// resolve the same way they do in Query.
 func (db *DB) Plan(query string) (engine.Node, error) {
-	return sql.PlanSQL(query, db.cat)
+	return sql.PlanSQLWith(query, db.cat, db.sysTables)
 }
 
 // LastQueryStats returns the scan counters of the most recent Query/Run.
@@ -555,7 +659,7 @@ func ParseWhere(cond string) (Pred, error) { return sql.ParsePredicate(cond) }
 
 // Explain renders the plan for a query as indented text.
 func (db *DB) Explain(query string) (string, error) {
-	node, err := sql.PlanSQL(query, db.cat)
+	node, err := sql.PlanSQLWith(query, db.cat, db.sysTables)
 	if err != nil {
 		return "", err
 	}

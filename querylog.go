@@ -1,0 +1,50 @@
+package predcache
+
+import (
+	"io"
+	"time"
+
+	"github.com/predcache/predcache/internal/systab"
+)
+
+// QueryRecord is one row of the always-on query history (pc.query_log).
+type QueryRecord = systab.QueryRecord
+
+// DefaultQueryLogCapacity is the number of recent queries the history
+// retains unless WithQueryLogCapacity overrides it. At ~200 bytes per
+// record the default costs a fixed ~200 KiB per database.
+const DefaultQueryLogCapacity = 1024
+
+// DefaultSlowQueryThreshold flags queries at or above this wall time as
+// slow in pc.query_log.
+const DefaultSlowQueryThreshold = time.Second
+
+// WithQueryLogCapacity sets how many recent queries pc.query_log retains
+// (default DefaultQueryLogCapacity). n <= 0 disables query recording
+// entirely: pc.query_log stays empty and queries skip the recording step.
+func WithQueryLogCapacity(n int) Option {
+	return func(db *DB) { db.qlogCap = n }
+}
+
+// WithSlowQueryThreshold sets the wall time at which a query is flagged
+// slow (default DefaultSlowQueryThreshold; d <= 0 flags none).
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(db *DB) { db.slowQuery = d }
+}
+
+// QueryLog returns the retained query history, oldest first (nil when
+// recording is disabled). The same rows are queryable as pc.query_log.
+func (db *DB) QueryLog() []QueryRecord {
+	return db.qlog.Records()
+}
+
+// DumpQueryLog streams the retained query history to w as JSON lines,
+// oldest first (a no-op when recording is disabled).
+func (db *DB) DumpQueryLog(w io.Writer) error {
+	return db.qlog.WriteJSONL(w)
+}
+
+// SystemTableNames lists the registered pc.* system tables, sorted.
+func (db *DB) SystemTableNames() []string {
+	return db.sysTables.Names()
+}

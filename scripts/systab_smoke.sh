@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# systab_smoke.sh: end-to-end check of the pc.* system tables through pcsh.
+# Boots the shell on a tiny SSB dataset, runs a short workload, then asserts
+# that pc.query_log recorded exactly the issued queries and that the cache
+# and storage system tables answer through plain SQL.
+set -eu
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/pcsh" ./cmd/pcsh
+
+OUT="$("$BIN/pcsh" -dataset ssb -sf 0.005 <<'EOF'
+select count(*) from lineorder;
+select count(*) from lineorder where lo_quantity < 10;
+select count(*) from lineorder where lo_quantity < 10;
+select count(*) as qcount from pc.query_log;
+select count(*) as repeats from pc.query_log where cache_hits > 0;
+select count(*) as storcols from pc.table_storage where table_name = 'lineorder';
+select enabled from pc.cache_stats;
+\q
+EOF
+)"
+
+# Each probe prints a one-word header line followed by the value line.
+val_after() {
+    printf '%s\n' "$OUT" | awk -v key="$1" 'f{print $NF; exit} $0 ~ key{f=1}'
+}
+
+QCOUNT="$(val_after qcount)"
+if [ "$QCOUNT" != "3" ]; then
+    echo "systab smoke: pc.query_log counted '$QCOUNT' queries, want 3" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+REPEATS="$(val_after repeats)"
+if [ "$REPEATS" -lt 1 ]; then
+    echo "systab smoke: no cache hit recorded for the repeated query" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+STORCOLS="$(val_after storcols)"
+if [ "$STORCOLS" -lt 1 ]; then
+    echo "systab smoke: pc.table_storage empty for lineorder" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+ENABLED="$(val_after enabled)"
+if [ "$ENABLED" != "true" ]; then
+    echo "systab smoke: pc.cache_stats reports enabled='$ENABLED'" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+echo "systab smoke: OK (3 queries logged, $REPEATS cache-hit query, $STORCOLS storage columns)"
