@@ -1,15 +1,27 @@
 // Command pclint runs the project's static-analysis suite (internal/lint)
-// over the module: lockcheck, errwrap, bufalias and goroutinectx. It is
-// built exclusively on the standard library.
+// over the module: lockcheck, errwrap, bufalias, goroutinectx, lockorder,
+// noalloc and poolcheck. It is built exclusively on the standard library.
 //
 // Usage:
 //
-//	go run ./cmd/pclint ./...          # whole module
-//	go run ./cmd/pclint ./internal/core
+//	go run ./cmd/pclint ./...                  # whole module, default tags
+//	go run ./cmd/pclint -matrix=';pcdebug' ./... # default AND pcdebug configs
 //	go run ./cmd/pclint -analyzers=errwrap -tests ./...
+//	go run ./cmd/pclint -format=sarif ./... > pclint.sarif
+//	go run ./cmd/pclint -write-baseline ./...  # freeze current findings
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on load or
-// type-check failure.
+// -matrix runs several build-tag configurations in one process (each entry is
+// a comma-separated tag set; entries are separated by semicolons; the empty
+// entry is the default tag set). Findings are merged and deduplicated, so a
+// diagnostic in tag-shared code is reported once.
+//
+// Findings matching the baseline file (default .pclint-baseline.json at the
+// module root, override with -baseline) are suppressed; baseline entries that
+// no longer match anything are reported as stale and fail the run, so the
+// baseline shrinks monotonically.
+//
+// Exit status: 0 when clean, 1 when findings (or stale baseline entries) were
+// reported, 2 on load or type-check failure.
 package main
 
 import (
@@ -24,9 +36,14 @@ import (
 
 func main() {
 	var (
-		analyzerList = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
-		includeTests = flag.Bool("tests", false, "also lint _test.go files (same-package tests)")
-		tags         = flag.String("tags", "", "comma-separated extra build tags (e.g. pcdebug)")
+		analyzerList  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		includeTests  = flag.Bool("tests", false, "also lint _test.go files (same-package tests)")
+		tags          = flag.String("tags", "", "comma-separated extra build tags (e.g. pcdebug)")
+		matrix        = flag.String("matrix", "", "semicolon-separated tag sets to lint in one process (e.g. ';pcdebug'); overrides -tags")
+		format        = flag.String("format", "text", "output format: text, json, or sarif")
+		sarifOut      = flag.String("sarif", "", "also write a SARIF 2.1.0 report to this file")
+		baselinePath  = flag.String("baseline", "", "baseline file (default <module root>/.pclint-baseline.json)")
+		writeBaseline = flag.Bool("write-baseline", false, "write current findings to the baseline file and exit")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -34,41 +51,137 @@ func main() {
 		args = []string{"./..."}
 	}
 
-	loader, err := lint.NewLoader(".")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pclint:", err)
-		os.Exit(2)
-	}
-	loader.IncludeTests = *includeTests
-	if *tags != "" {
-		loader.BuildTags = strings.Split(*tags, ",")
-	}
-
-	pkgs, err := loadPatterns(loader, args)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "pclint:", err)
 		os.Exit(2)
 	}
 
 	analyzers, err := selectAnalyzers(*analyzerList)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pclint:", err)
-		os.Exit(2)
+		fail(err)
 	}
 
-	prog := lint.NewProgram(loader.Fset(), pkgs)
-	findings := prog.Run(analyzers)
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(loader.ModuleRoot, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	// Each matrix entry is one build-tag configuration; the whole module is
+	// loaded and analyzed once per entry, all inside this process.
+	tagSets := [][]string{nil}
+	switch {
+	case *matrix != "":
+		tagSets = tagSets[:0]
+		for _, entry := range strings.Split(*matrix, ";") {
+			var set []string
+			for _, t := range strings.Split(entry, ",") {
+				if t = strings.TrimSpace(t); t != "" {
+					set = append(set, t)
+				}
+			}
+			tagSets = append(tagSets, set)
 		}
-		fmt.Println(rel)
+	case *tags != "":
+		tagSets = [][]string{strings.Split(*tags, ",")}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "pclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	moduleRoot := ""
+	var all []lint.Finding
+	for _, set := range tagSets {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			fail(err)
+		}
+		loader.IncludeTests = *includeTests
+		loader.BuildTags = set
+		moduleRoot = loader.ModuleRoot
+
+		pkgs, err := loadPatterns(loader, args)
+		if err != nil {
+			fail(err)
+		}
+		prog := lint.NewProgram(loader.Fset(), pkgs)
+		all = append(all, prog.Run(analyzers)...)
+	}
+	findings := dedupe(all)
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(moduleRoot, ".pclint-baseline.json")
+	}
+
+	if *writeBaseline {
+		b := lint.NewBaseline(moduleRoot, findings)
+		if err := b.Save(bpath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "pclint: wrote %d finding(s) to %s\n", len(findings), bpath)
+		return
+	}
+
+	baseline, err := lint.LoadBaseline(bpath)
+	if err != nil {
+		fail(err)
+	}
+	fresh, stale := baseline.Filter(moduleRoot, findings)
+
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := lint.WriteSARIF(f, moduleRoot, fresh); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range fresh {
+			rel := f
+			rel.Pos.Filename = relToRoot(moduleRoot, f.Pos.Filename)
+			fmt.Println(rel)
+		}
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, moduleRoot, fresh); err != nil {
+			fail(err)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, moduleRoot, fresh); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format))
+	}
+
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "pclint: stale baseline entry (no matching finding, remove it): %s\n", e)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "pclint: %d finding(s)\n", len(fresh))
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
 		os.Exit(1)
 	}
+}
+
+// dedupe sorts merged multi-configuration findings and removes exact
+// duplicates (tag-shared code is analyzed once per tag set).
+func dedupe(findings []lint.Finding) []lint.Finding {
+	lint.SortFindings(findings)
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func relToRoot(root, filename string) string {
+	if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return filename
 }
 
 // loadPatterns resolves command-line package patterns: "./..." loads the
@@ -127,14 +240,16 @@ func selectAnalyzers(list string) ([]lint.Analyzer, error) {
 		return all, nil
 	}
 	byName := make(map[string]lint.Analyzer, len(all))
+	var names []string
 	for _, a := range all {
 		byName[a.Name()] = a
+		names = append(names, a.Name())
 	}
 	var out []lint.Analyzer
 	for _, name := range strings.Split(list, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: lockcheck, errwrap, bufalias, goroutinectx)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(names, ", "))
 		}
 		out = append(out, a)
 	}

@@ -57,6 +57,7 @@ type Manager struct {
 	cat       *storage.Catalog // immutable after NewManager
 	views     map[string]*View // guarded by mu
 	observed  map[string]int   // guarded by mu
+	building  map[string]bool  // guarded by mu; templates with a build in flight
 	threshold int              // immutable after NewManager
 	stats     Stats            // guarded by mu
 }
@@ -73,6 +74,7 @@ func NewManager(cat *storage.Catalog, threshold int) *Manager {
 		cat:       cat,
 		views:     make(map[string]*View),
 		observed:  make(map[string]int),
+		building:  make(map[string]bool),
 		threshold: threshold,
 	}
 }
@@ -252,21 +254,36 @@ func rewriteAggRefs(s expr.Scalar) expr.Scalar {
 
 // Observe records a statement; once its template repeats `threshold` times,
 // the view is created. Returns the view when one exists afterwards.
+//
+// The materializing scan runs outside m.mu: building a view executes a full
+// aggregation over the base table, and holding the manager lock across that
+// scan would stall every concurrent Observe and TryAnswer. The building set
+// guarantees a single builder per template; concurrent observers of a
+// template mid-build simply report no view yet.
 func (m *Manager) Observe(stmt *sql.SelectStmt) (*View, error) {
 	ok, tpl := Eligible(stmt, m.cat)
 	if !ok {
 		return nil, nil
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if v, exists := m.views[tpl.key]; exists {
+		m.mu.Unlock()
 		return v, nil
 	}
 	m.observed[tpl.key]++
-	if m.observed[tpl.key] < m.threshold {
+	if m.observed[tpl.key] < m.threshold || m.building[tpl.key] {
+		m.mu.Unlock()
 		return nil, nil
 	}
-	v, err := m.buildLocked(tpl)
+	m.building[tpl.key] = true
+	m.mu.Unlock()
+
+	v, scanned, err := m.build(tpl)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.building, tpl.key)
+	m.stats.RefreshRowsScanned += scanned
 	if err != nil {
 		return nil, err
 	}
@@ -275,11 +292,14 @@ func (m *Manager) Observe(stmt *sql.SelectStmt) (*View, error) {
 	return v, nil
 }
 
-// buildLocked materializes the view.
-func (m *Manager) buildLocked(tpl template) (*View, error) {
+// build materializes the view. It takes no manager state beyond the
+// immutable catalog, so callers may (and Observe does) run it unlocked;
+// the scanned row count is returned for the caller to fold into stats
+// under m.mu.
+func (m *Manager) build(tpl template) (*View, int64, error) {
 	tbl, ok := m.cat.Table(tpl.tableName)
 	if !ok {
-		return nil, fmt.Errorf("automv: table %s disappeared", tpl.tableName)
+		return nil, 0, fmt.Errorf("automv: table %s disappeared", tpl.tableName)
 	}
 	plan := &engine.Agg{
 		Input:   &engine.Scan{Table: tpl.tableName},
@@ -290,9 +310,8 @@ func (m *Manager) buildLocked(tpl template) (*View, error) {
 	ec := &engine.ExecCtx{Catalog: m.cat, Snapshot: m.cat.Snapshot(), Stats: stats}
 	rel, err := plan.Execute(ec)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	m.stats.RefreshRowsScanned += stats.RowsScanned.Load()
 	v := &View{
 		key:         tpl.key,
 		tableName:   tpl.tableName,
@@ -305,7 +324,7 @@ func (m *Manager) buildLocked(tpl template) (*View, error) {
 		deleteOps:   tbl.DeleteOps(),
 	}
 	v.watermarks = sliceRows(tbl)
-	return v, nil
+	return v, stats.RowsScanned.Load(), nil
 }
 
 func sliceRows(tbl *storage.Table) []int {
@@ -332,6 +351,11 @@ func (m *Manager) TryAnswer(stmt *sql.SelectStmt) (*engine.Relation, bool, error
 		m.mu.Unlock()
 		return nil, false, nil
 	}
+	// Refresh must run under mu — it mutates the shared *View in place, and
+	// readers obtain views only through m.views under the same lock. mu is a
+	// leaf lock (storage and engine never acquire it), so blocking while it
+	// is held cannot participate in a cycle.
+	// pclint:allow lockorder: deliberate — refresh serializes view mutation; mu is a leaf lock.
 	if err := m.refreshLocked(v); err != nil {
 		m.mu.Unlock()
 		return nil, false, err
@@ -388,9 +412,10 @@ func (m *Manager) refreshLocked(v *View) error {
 	}
 	if v.table.LayoutEpoch() != v.layoutEpoch || v.table.DeleteOps() != v.deleteOps {
 		m.stats.FullRebuilds++
-		nv, err := m.buildLocked(template{
+		nv, scanned, err := m.build(template{
 			key: v.key, tableName: v.tableName, groupCols: v.groupCols, aggs: v.aggs,
 		})
+		m.stats.RefreshRowsScanned += scanned
 		if err != nil {
 			return err
 		}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"github.com/predcache/predcache/internal/bloom"
@@ -29,11 +28,25 @@ type semiJoinFilter struct {
 	deps      []core.BuildDep
 }
 
-// hashString hashes a string join key for bloom insertion/probing.
+// FNV-1a 64-bit parameters (hash/fnv), inlined so hashing a join key
+// allocates neither a hasher nor a []byte copy of the string.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashString hashes a string join key for bloom insertion/probing. It is
+// bit-identical to fnv.New64a().Write([]byte(s)).Sum64(), so filters built
+// by the join probe the same values the scan-side memo computes.
+//
+// pclint:noalloc
 func hashString(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // sliceScanResult is the per-slice outcome of a scan. The counters are
@@ -514,6 +527,10 @@ func (r *rangeRecorder) addSel(base int, sel []int) {
 //  4. otherwise a selection vector is built from the surviving spans, the
 //     needed columns are partially decoded over just those spans, and the
 //     residual + fallbacks + semi-joins run vectorized as before.
+//
+// scanSlice is the per-slice hot loop: everything it touches works out of the
+// pooled scanScratch, so a steady-state warm scan allocates nothing here (see
+// TestKernelWarmScanAllocs). pclint:noalloc enforces that transitively.
 func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, bound expr.Bound,
 	plan *expr.ScanPlan, sjs []*semiJoinFilter, sjKeyCols []int, sjMemos [][]bool,
 	candidates []storage.RowRange, scr *scanScratch, res *sliceScanResult) {
@@ -534,6 +551,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 		col := slice.Column(ci)
 		if tbl.ColumnType(ci) == storage.Float64 {
 			if scr.floats[ci] == nil {
+				// pclint:allow noalloc: lazy once-per-scratch-lifetime buffer
 				scr.floats[ci] = make([]float64, storage.BlockSize)
 			}
 			vec := scr.floats[ci]
@@ -545,6 +563,7 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 			ctx.SetFloat(ci, vec)
 		} else {
 			if scr.ints[ci] == nil {
+				// pclint:allow noalloc: lazy once-per-scratch-lifetime buffer
 				scr.ints[ci] = make([]int64, storage.BlockSize)
 			}
 			vec := scr.ints[ci]

@@ -73,6 +73,39 @@ func (c *Cache) Entries() int {
 	return len(c.entries)
 }
 
+// lakeScratch owns the per-scan evaluation buffers — the BlockCtx with its
+// per-column vector slots and the selection vector — recycled through a
+// sync.Pool so repeated (typically cache-hit) scans allocate nothing for
+// them. A scratch is private to one Scan call from acquire to release.
+type lakeScratch struct {
+	ctx *expr.BlockCtx
+	sel []int
+}
+
+var lakeScratchPool = sync.Pool{New: func() any { return &lakeScratch{} }}
+
+// acquireLakeScratch returns a scratch with a BlockCtx reset for numCols
+// columns. dicts is shared read-only.
+func acquireLakeScratch(numCols int, dicts []*storage.Dict) *lakeScratch {
+	s := lakeScratchPool.Get().(*lakeScratch)
+	if s.ctx == nil {
+		s.ctx = expr.NewBlockCtx(numCols, dicts)
+	}
+	s.ctx.Reset(numCols, dicts)
+	if s.sel == nil {
+		s.sel = make([]int, 0, 4096)
+	}
+	return s
+}
+
+// release returns the scratch to the pool. The caller must not retain the
+// BlockCtx or the selection vector past this call.
+//
+// pclint:recycled
+func (s *lakeScratch) release() {
+	lakeScratchPool.Put(s)
+}
+
 // Scan evaluates pred over the table, using cache (nil = cold) to skip
 // non-qualifying files and rows. It returns the qualifying rows in manifest
 // order.
@@ -107,9 +140,10 @@ func Scan(t *Table, pred expr.Pred, cache *Cache) ([]Match, ScanStats, error) {
 	files := append([]*DataFile(nil), t.files...)
 	t.mu.RUnlock()
 
-	ctx := expr.NewBlockCtx(len(t.schema), t.dicts)
+	scr := acquireLakeScratch(len(t.schema), t.dicts)
+	ctx := scr.ctx
 	var out []Match
-	sel := make([]int, 0, 4096)
+	sel := scr.sel[:0]
 	for _, f := range files {
 		var fe *fileEntry
 		if entry != nil {
@@ -186,5 +220,8 @@ func Scan(t *Table, pred expr.Pred, cache *Cache) ([]Match, ScanStats, error) {
 			cache.mu.Unlock()
 		}
 	}
+	// Recapture the (possibly grown) selection vector before recycling.
+	scr.sel = sel[:0]
+	scr.release()
 	return out, stats, nil
 }

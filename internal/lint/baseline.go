@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline freezes known findings so new analyzers can land on a tree with
+// pre-existing debt: findings matching a baseline entry are suppressed, and
+// baseline entries matching no current finding are *stale* — CI fails on
+// them, forcing the baseline to shrink monotonically as debt is paid down.
+//
+// Entries match on (analyzer, file, message), deliberately not on line
+// numbers: unrelated edits move lines, and a baseline that churns on every
+// edit stops being reviewable. Matching is multiset-aware — two identical
+// findings need two entries.
+type Baseline struct {
+	// Comment documents the workflow for humans editing the file.
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s: %s: %s", e.File, e.Analyzer, e.Message)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline deterministically (sorted, indented, trailing
+// newline) so regeneration produces reviewable diffs.
+func (b *Baseline) Save(path string) error {
+	sortEntries(b.Findings)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// NewBaseline builds a baseline from current findings.
+func NewBaseline(moduleRoot string, findings []Finding) *Baseline {
+	b := &Baseline{
+		Comment: "pclint baseline: findings frozen when an analyzer landed. " +
+			"Fix the code or add a documented pclint: annotation instead of adding entries; " +
+			"CI fails on stale entries, so remove them as debt is paid down. " +
+			"Regenerate with: go run ./cmd/pclint -write-baseline",
+	}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(moduleRoot, f.Pos.Filename),
+			Message:  f.Message,
+		})
+	}
+	sortEntries(b.Findings)
+	return b
+}
+
+func sortEntries(entries []BaselineEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Filter splits findings into those not covered by the baseline (new) and
+// reports baseline entries that matched nothing (stale). Each entry absorbs
+// at most as many findings as it occurs in the baseline.
+func (b *Baseline) Filter(moduleRoot string, findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	budget := make(map[BaselineEntry]int)
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, f := range findings {
+		key := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(moduleRoot, f.Pos.Filename),
+			Message:  f.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for e, n := range budget {
+		for i := 0; i < n; i++ {
+			stale = append(stale, e)
+		}
+	}
+	sortEntries(stale)
+	return fresh, stale
+}

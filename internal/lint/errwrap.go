@@ -6,10 +6,15 @@ import (
 	"go/types"
 )
 
-// ErrWrap flags fmt.Errorf calls that format an error operand with any verb
-// other than %w. Without %w the cause is flattened into text and
-// errors.Is/errors.As cannot traverse the chain — which breaks callers that
-// classify engine errors.
+// ErrWrap flags error-construction patterns that flatten a cause into text so
+// errors.Is/errors.As can no longer traverse the chain — which breaks callers
+// that classify engine errors:
+//
+//   - fmt.Errorf with an error operand formatted by any verb other than %w;
+//   - an error operand pre-stringified with err.Error() and formatted with
+//     %s/%q/%v — pass the error itself and use %w;
+//   - errors.New(fmt.Sprintf(...)), which is fmt.Errorf spelled expensively
+//     and can never wrap.
 type ErrWrap struct{}
 
 // Name implements Analyzer.
@@ -21,10 +26,21 @@ func (ErrWrap) Run(prog *Program, pkg *Package) []Finding {
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) < 2 {
+			if !ok {
 				return true
 			}
-			if !isPkgFunc(pkg.Info, call.Fun, "fmt", "Errorf") {
+			if isPkgFunc(pkg.Info, call.Fun, "errors", "New") && len(call.Args) == 1 {
+				if inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok &&
+					isPkgFunc(pkg.Info, inner.Fun, "fmt", "Sprintf") {
+					out = append(out, Finding{
+						Analyzer: "errwrap",
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Message:  "errors.New(fmt.Sprintf(...)); use fmt.Errorf, which can also wrap a cause with %w",
+					})
+				}
+				return true
+			}
+			if len(call.Args) < 2 || !isPkgFunc(pkg.Info, call.Fun, "fmt", "Errorf") {
 				return true
 			}
 			format, ok := constantString(pkg.Info, call.Args[0])
@@ -40,12 +56,22 @@ func (ErrWrap) Run(prog *Program, pkg *Package) []Finding {
 				if argIdx >= len(call.Args) {
 					break // malformed format; go vet's printf check owns this
 				}
-				if verb != 'w' && isErrorType(pkg.Info.TypeOf(call.Args[argIdx])) {
+				arg := call.Args[argIdx]
+				if verb != 'w' && isErrorType(pkg.Info.TypeOf(arg)) {
 					out = append(out, Finding{
 						Analyzer: "errwrap",
-						Pos:      pkg.Fset.Position(call.Args[argIdx].Pos()),
+						Pos:      pkg.Fset.Position(arg.Pos()),
 						Message: "error operand formatted with %" + string(verb) +
 							"; use %w so errors.Is/As can unwrap it",
+					})
+					continue
+				}
+				if (verb == 's' || verb == 'q' || verb == 'v') && isErrorDotError(pkg.Info, arg) {
+					out = append(out, Finding{
+						Analyzer: "errwrap",
+						Pos:      pkg.Fset.Position(arg.Pos()),
+						Message: "error stringified with .Error() and formatted with %" + string(verb) +
+							"; pass the error itself and use %w",
 					})
 				}
 			}
@@ -53,6 +79,20 @@ func (ErrWrap) Run(prog *Program, pkg *Package) []Finding {
 		})
 	}
 	return out
+}
+
+// isErrorDotError reports whether expr is a call of the error interface's
+// Error() method on an error-typed receiver.
+func isErrorDotError(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return isErrorType(info.TypeOf(sel.X))
 }
 
 // isPkgFunc reports whether fun is a direct reference to pkgPath.name.

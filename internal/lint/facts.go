@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds the Program-wide fact indexes the whole-program analyzers
+// share: the pclint annotation vocabulary, suppression ranges, the
+// func-object -> declaration map, and the sync.Pool wrapper facts.
+//
+// Annotation vocabulary (full reference in DESIGN.md §12):
+//
+//	// guarded by <mu>          field comment: lockcheck guard
+//	// pclint:held              func doc: caller holds the relevant lock
+//	// pclint:recycled          func doc: result is a recycled per-batch buffer
+//	// pclint:noalloc           func doc: hot path — no allocation-inducing
+//	//                          constructs in this function or (transitively)
+//	//                          in any module-internal function it calls
+//	// pclint:allowalloc <why>  func doc: exempt from noalloc traversal
+//	//                          (amortized growth or a documented cold path)
+//	// pclint:allow <analyzer>: <why>
+//	//                          func doc or line comment: suppress one
+//	//                          analyzer's findings for the function body or
+//	//                          for the commented line (and the line below,
+//	//                          so a comment can sit above the construct)
+
+// declInfo ties a function object to its syntax and owning package.
+type declInfo struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// allowRange suppresses one analyzer's findings for a line interval of a
+// file.
+type allowRange struct {
+	file      string
+	startLine int
+	endLine   int
+	analyzer  string
+}
+
+// buildFacts populates the Program's annotation and declaration indexes.
+// Called once from NewProgram.
+func (prog *Program) buildFacts() {
+	prog.Recycled = make(map[types.Object]bool)
+	prog.Noalloc = make(map[*types.Func]bool)
+	prog.AllowAlloc = make(map[*types.Func]bool)
+	prog.PoolSource = make(map[*types.Func]bool)
+	prog.PoolSink = make(map[*types.Func]bool)
+	prog.Decls = make(map[*types.Func]declInfo)
+
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				prog.Decls[obj] = declInfo{Decl: fd, Pkg: pkg}
+				if commentContains(fd.Doc, "pclint:recycled") {
+					prog.Recycled[obj] = true
+				}
+				if commentContains(fd.Doc, "pclint:noalloc") {
+					prog.Noalloc[obj] = true
+				}
+				if commentContains(fd.Doc, "pclint:allowalloc") {
+					prog.AllowAlloc[obj] = true
+				}
+				if fd.Body != nil {
+					if poolSourceFunc(pkg, fd) {
+						prog.PoolSource[obj] = true
+					}
+					if poolSinkFunc(pkg, fd) {
+						prog.PoolSink[obj] = true
+					}
+				}
+			}
+			prog.collectAllows(pkg, file)
+		}
+	}
+}
+
+// collectAllows indexes pclint:allow comments of one file. A line comment
+// suppresses the commented line and the next (so the annotation can trail the
+// construct or sit on its own line above); a function doc comment suppresses
+// the whole body.
+func (prog *Program) collectAllows(pkg *Package, file *ast.File) {
+	record := func(c *ast.Comment, startLine, endLine int) {
+		for _, analyzer := range parseAllows(c.Text) {
+			pos := pkg.Fset.Position(c.Pos())
+			prog.allows = append(prog.allows, allowRange{
+				file:      pos.Filename,
+				startLine: startLine,
+				endLine:   endLine,
+				analyzer:  analyzer,
+			})
+		}
+	}
+	// Function-doc allows cover the whole declaration.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if strings.Contains(c.Text, "pclint:allow ") {
+				record(c, pkg.Fset.Position(fd.Pos()).Line, pkg.Fset.Position(fd.End()).Line)
+			}
+		}
+	}
+	// Every other comment covers its own line and the next.
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "pclint:allow ") {
+				continue
+			}
+			line := pkg.Fset.Position(c.Pos()).Line
+			record(c, line, line+1)
+		}
+	}
+}
+
+// parseAllows extracts analyzer names from a `pclint:allow a,b: reason`
+// comment.
+func parseAllows(text string) []string {
+	var out []string
+	rest := text
+	for {
+		i := strings.Index(rest, "pclint:allow ")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len("pclint:allow "):]
+		names := rest
+		if j := strings.IndexAny(names, ":\n"); j >= 0 {
+			names = names[:j]
+		}
+		for _, name := range strings.Split(names, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				out = append(out, name)
+			}
+		}
+	}
+}
+
+// allowedAt reports whether findings of the analyzer are suppressed at pos.
+func (prog *Program) allowedAt(analyzer string, pos token.Position) bool {
+	for _, ar := range prog.allows {
+		if ar.analyzer == analyzer && ar.file == pos.Filename &&
+			ar.startLine <= pos.Line && pos.Line <= ar.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncPoolType reports whether t is sync.Pool (possibly via pointer).
+func isSyncPoolType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// poolCall recognizes <pool>.Get() / <pool>.Put(x) where <pool> has type
+// sync.Pool, returning the method name.
+func poolCall(info *types.Info, call *ast.CallExpr) (method string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", false
+	}
+	if sel.Sel.Name != "Get" && sel.Sel.Name != "Put" {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil || !isSyncPoolType(t) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// poolSourceFunc reports whether fd hands out pooled objects: its body calls
+// <pool>.Get() and it returns a pointer or interface result. Callers of such
+// a wrapper (e.g. acquireScanScratch) own a pooled object just as if they had
+// called Get themselves.
+func poolSourceFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	returnsRef := false
+	for _, f := range fd.Type.Results.List {
+		t := pkg.Info.TypeOf(f.Type)
+		if t == nil {
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Pointer, *types.Interface:
+			returnsRef = true
+		}
+	}
+	if !returnsRef {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, ok := poolCall(pkg.Info, call); ok && m == "Get" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// poolSinkFunc reports whether fd returns its receiver or a parameter to a
+// sync.Pool: its body contains <pool>.Put(x) where x names the receiver or a
+// parameter. Calling such a wrapper (e.g. (*scanScratch).release) counts as a
+// Put of the argument/receiver.
+func poolSinkFunc(pkg *Package, fd *ast.FuncDecl) bool {
+	owned := make(map[types.Object]bool)
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+	if len(owned) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if m, ok := poolCall(pkg.Info, call); !ok || m != "Put" || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && owned[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

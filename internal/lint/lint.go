@@ -3,23 +3,35 @@
 // go/importer) — no golang.org/x/tools dependency, preserving the module's
 // zero-dependency claim.
 //
-// Four analyzers target the failure modes of this codebase's concurrent scan
+// Seven analyzers target the failure modes of this codebase's concurrent scan
 // and cache paths:
 //
 //   - lockcheck: struct fields annotated `// guarded by <mu>` may only be
 //     accessed while that mutex is held, and lock-bearing structs must not
 //     be copied by value.
 //   - errwrap: fmt.Errorf calls that format an error operand must use %w so
-//     errors.Is/As can traverse the chain.
+//     errors.Is/As can traverse the chain, and errors.New(fmt.Sprintf(...))
+//     must be fmt.Errorf.
 //   - bufalias: values returned by functions annotated `pclint:recycled`
 //     (per-batch scratch buffers recycled by the vectorized scan) must not
 //     be retained beyond the batch callback.
 //   - goroutinectx: every spawned goroutine must either be joined by a
 //     sync.WaitGroup in the same function or be cancellable (receive a
 //     context or channel signal).
+//   - lockorder: whole-program lock-acquisition graph — reports cycles
+//     (potential deadlocks), recursive acquisition of the same lock, and
+//     locks held across blocking operations (channel ops, Wait, I/O).
+//   - noalloc: functions annotated `pclint:noalloc` — and, transitively,
+//     every module-internal function they call — must not contain
+//     allocation-inducing constructs.
+//   - poolcheck: sync.Pool lifetime protocol — no use after Put, no double
+//     Put, no Put of escaped objects, no pool object leaked on an early
+//     return.
 //
-// The annotation conventions are documented in DESIGN.md ("Correctness
-// tooling").
+// The first four are intra-procedural; the last three share whole-program
+// infrastructure (a CHA-style call graph and cross-package facts, see
+// callgraph.go and facts.go). The annotation conventions are documented in
+// DESIGN.md §12 ("pclint v2").
 package lint
 
 import (
@@ -53,7 +65,7 @@ type Package struct {
 }
 
 // Program is the full set of loaded packages plus cross-package indexes the
-// analyzers share (e.g. which function objects are marked pclint:recycled).
+// analyzers share (annotation facts, declarations, the call graph).
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
@@ -61,6 +73,26 @@ type Program struct {
 	// Recycled holds function/method objects whose doc comment carries the
 	// `pclint:recycled` marker: their results are batch-scoped buffers.
 	Recycled map[types.Object]bool
+	// Noalloc holds functions annotated `pclint:noalloc`: hot-path roots in
+	// which (transitively) no allocation-inducing construct may appear.
+	Noalloc map[*types.Func]bool
+	// AllowAlloc holds functions annotated `pclint:allowalloc`: exempt from
+	// noalloc traversal (amortized growth or documented cold paths).
+	AllowAlloc map[*types.Func]bool
+	// PoolSource holds functions that return objects drawn from a sync.Pool
+	// (acquire wrappers); PoolSink holds functions that Put their receiver or
+	// a parameter back (release wrappers). Both are derived from the bodies,
+	// not annotations, and let poolcheck follow the protocol through the
+	// repo's wrapper idiom.
+	PoolSource map[*types.Func]bool
+	PoolSink   map[*types.Func]bool
+	// Decls maps every declared function/method object to its syntax.
+	Decls map[*types.Func]declInfo
+
+	allows []allowRange
+	cg     *CallGraph
+	lo     *lockOrderState
+	na     *noallocState
 }
 
 // Analyzer is one pclint check.
@@ -71,42 +103,47 @@ type Analyzer interface {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []Analyzer {
-	return []Analyzer{LockCheck{}, ErrWrap{}, BufAlias{}, GoroutineCtx{}}
+	return []Analyzer{LockCheck{}, ErrWrap{}, BufAlias{}, GoroutineCtx{}, LockOrder{}, NoAlloc{}, PoolCheck{}}
 }
 
 // NewProgram builds the shared indexes over a set of loaded packages.
 func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
-	prog := &Program{Fset: fset, Packages: pkgs, Recycled: make(map[types.Object]bool)}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Doc == nil {
-					continue
-				}
-				if !commentContains(fd.Doc, "pclint:recycled") {
-					continue
-				}
-				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
-					prog.Recycled[obj] = true
-				}
-			}
-		}
-	}
+	prog := &Program{Fset: fset, Packages: pkgs}
+	prog.buildFacts()
 	return prog
 }
 
 // Run executes the given analyzers over every package and returns findings
-// sorted by position.
+// sorted by position, with `pclint:allow` suppressions applied and exact
+// duplicates removed.
 func (prog *Program) Run(analyzers []Analyzer) []Finding {
 	var out []Finding
 	for _, pkg := range prog.Packages {
 		for _, a := range analyzers {
-			out = append(out, a.Run(prog, pkg)...)
+			for _, f := range a.Run(prog, pkg) {
+				if prog.allowedAt(f.Analyzer, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortFindings(out)
+	dedup := out[:0]
+	for i, f := range out {
+		if i > 0 && f == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
+}
+
+// SortFindings orders findings by position, then analyzer, then message —
+// the suite's canonical deterministic order.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -116,9 +153,11 @@ func (prog *Program) Run(analyzers []Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		return a.Message < b.Message
 	})
-	return out
 }
 
 func commentContains(cg *ast.CommentGroup, marker string) bool {

@@ -70,6 +70,9 @@ func TestErrWrapFixture(t *testing.T)      { checkFixture(t, "errwrap", ErrWrap{
 func TestLockCheckFixture(t *testing.T)    { checkFixture(t, "lockcheck", LockCheck{}) }
 func TestBufAliasFixture(t *testing.T)     { checkFixture(t, "bufalias", BufAlias{}) }
 func TestGoroutineCtxFixture(t *testing.T) { checkFixture(t, "goroutinectx", GoroutineCtx{}) }
+func TestLockOrderFixture(t *testing.T)    { checkFixture(t, "lockorder", LockOrder{}) }
+func TestNoAllocFixture(t *testing.T)      { checkFixture(t, "noalloc", NoAlloc{}) }
+func TestPoolCheckFixture(t *testing.T)    { checkFixture(t, "poolcheck", PoolCheck{}) }
 
 // TestRepoClean runs the full suite over the real module and requires zero
 // findings: the codebase must stay lint-clean.

@@ -1,0 +1,529 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NoAlloc enforces the `pclint:noalloc` annotation: the per-block scan
+// kernels must not allocate, or the pooled-scratch design (engine/scratch.go)
+// and the warm-scan allocation budget (TestKernelWarmScanAllocs) silently
+// regress. The annotation marks a hot-path *root*; the guarantee is enforced
+// transitively — every module-internal function reachable from a root through
+// the CHA call graph is checked too, unless it carries `pclint:allowalloc
+// <why>` (amortized growth or a documented cold path), which stops the
+// traversal.
+//
+// Inside a checked function the analyzer flags every construct the compiler
+// may lower to a heap allocation:
+//
+//   - make / new, map and slice composite literals (and their address)
+//   - append to a slice that starts nil in this function (growth must
+//     allocate; appending into a reused scratch-backed slice is fine)
+//   - non-constant string concatenation, string <-> []byte/[]rune conversion
+//   - boxing a non-pointer value into an interface (call arguments,
+//     assignments, returns) — fmt-style any parameters are the usual culprit
+//   - closures that escape (stored, passed, returned, deferred) and method
+//     values; a func literal that is only called locally does not escape
+//   - go statements (new goroutine stack)
+//   - calls into external packages other than a small provably-nonallocating
+//     allowlist (math, math/bits, sync, sync/atomic, time, unicode/utf8)
+//   - dynamic calls through function values (callee unknown, so unprovable)
+//
+// Each finding names the noalloc root whose guarantee the construct breaks.
+// False positives (e.g. a make the compiler provably keeps on the stack) are
+// suppressed with `pclint:allow noalloc: <why>` at the line.
+type NoAlloc struct{}
+
+// Name implements Analyzer.
+func (NoAlloc) Name() string { return "noalloc" }
+
+// Run implements Analyzer; the computation is whole-program and cached.
+func (na NoAlloc) Run(prog *Program, pkg *Package) []Finding {
+	st := prog.noallocState()
+	var out []Finding
+	for _, f := range st.findings {
+		if prog.fileInPackage(pkg, f.Pos.Filename) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+type noallocState struct {
+	// rootOf maps each checked function to the noalloc root that reaches it
+	// (the lexicographically first, for deterministic messages).
+	rootOf   map[*types.Func]*types.Func
+	findings []Finding
+}
+
+// allocAllowlist is the set of external packages whose exported call surface
+// used by this repo does not allocate.
+var allocAllowlist = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+	"time":        true,
+	"unicode/utf8": true,
+}
+
+func (prog *Program) noallocState() *noallocState {
+	if prog.na != nil {
+		return prog.na
+	}
+	st := &noallocState{rootOf: make(map[*types.Func]*types.Func)}
+	cg := prog.CallGraph()
+
+	// Forward reachability from the annotated roots, stopping at allowalloc.
+	roots := make([]*types.Func, 0, len(prog.Noalloc))
+	for fn := range prog.Noalloc {
+		roots = append(roots, fn)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+	for _, root := range roots {
+		if _, seen := st.rootOf[root]; !seen {
+			st.rootOf[root] = root
+		}
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			for _, g := range cg.Callees(fn) {
+				if prog.AllowAlloc[g] {
+					continue
+				}
+				if _, seen := st.rootOf[g]; seen {
+					continue
+				}
+				st.rootOf[g] = root
+				queue = append(queue, g)
+			}
+		}
+	}
+
+	checked := make([]*types.Func, 0, len(st.rootOf))
+	for fn := range st.rootOf {
+		checked = append(checked, fn)
+	}
+	sort.Slice(checked, func(i, j int) bool { return checked[i].FullName() < checked[j].FullName() })
+	for _, fn := range checked {
+		di, ok := prog.Decls[fn]
+		if !ok || di.Decl.Body == nil || prog.AllowAlloc[fn] {
+			continue
+		}
+		st.checkFunc(prog, cg, fn, di)
+	}
+	SortFindings(st.findings)
+	prog.na = st
+	return st
+}
+
+// parentMap records each node's parent within a body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkFunc flags allocation-inducing constructs in one checked function.
+func (st *noallocState) checkFunc(prog *Program, cg *CallGraph, fn *types.Func, di declInfo) {
+	pkg := di.Pkg
+	info := pkg.Info
+	body := di.Decl.Body
+	root := st.rootOf[fn]
+	fname := shortFuncName(fn)
+
+	report := func(pos token.Pos, construct string) {
+		msg := fmt.Sprintf("%s in %s on pclint:noalloc path (root %s)", construct, fname, shortFuncName(root))
+		if root == fn {
+			msg = fmt.Sprintf("%s in pclint:noalloc function %s", construct, fname)
+		}
+		st.findings = append(st.findings, Finding{
+			Analyzer: "noalloc",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+
+	parents := parentMap(body)
+
+	// Slices that start nil in this body: `var x []T` with no initializer.
+	// Appending to them must allocate; appending into parameter- or
+	// field-backed slices reuses amortized capacity and is allowed.
+	nilSlices := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		gd, ok := n.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					nilSlices[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Escape classification for named closures: `f := func(){...}` where every
+	// use of f is a direct call does not escape. localFns records the bound
+	// names — calling one is not a dynamic call, because the literal's body is
+	// part of this function and checked inline.
+	nonEscapingLit := make(map[*ast.FuncLit]bool)
+	localFns := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			localFns[obj] = true
+			callOnly := true
+			ast.Inspect(body, func(m ast.Node) bool {
+				use, ok := m.(*ast.Ident)
+				if !ok || info.Uses[use] != obj {
+					return true
+				}
+				if call, ok := parents[use].(*ast.CallExpr); !ok || call.Fun != use {
+					callOnly = false
+				}
+				return callOnly
+			})
+			if callOnly {
+				nonEscapingLit[lit] = true
+			}
+		}
+		return true
+	})
+	// Directly invoked literals `(func(){...})()` do not escape either.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				nonEscapingLit[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			report(v.Pos(), "go statement (new goroutine)")
+
+		case *ast.DeferStmt:
+			if _, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				report(v.Pos(), "deferred closure")
+			}
+
+		case *ast.FuncLit:
+			if !nonEscapingLit[v] {
+				report(v.Pos(), "escaping func literal (closure)")
+			}
+
+		case *ast.CompositeLit:
+			t := info.TypeOf(v)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(v.Pos(), "slice composite literal")
+			case *types.Map:
+				report(v.Pos(), "map composite literal")
+			case *types.Struct, *types.Array:
+				// Allocates only via &lit or boxing; both caught elsewhere.
+				if ue, ok := parents[v].(*ast.UnaryExpr); ok && ue.Op == token.AND {
+					report(ue.Pos(), "address of composite literal")
+				}
+			}
+			return true
+
+		case *ast.BinaryExpr:
+			if v.Op != token.ADD {
+				return true
+			}
+			tv, ok := info.Types[v]
+			if !ok || tv.Value != nil { // constant-folded
+				return true
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				report(v.Pos(), "string concatenation")
+			}
+
+		case *ast.SelectorExpr:
+			// A method value (x.M used as a value, not called) allocates a
+			// bound-method closure.
+			selInfo, ok := info.Selections[v]
+			if !ok || selInfo.Kind() != types.MethodVal {
+				return true
+			}
+			if call, ok := parents[v].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == v {
+				return true
+			}
+			report(v.Pos(), "method value (bound-method closure)")
+
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, rhs := range v.Rhs {
+				if target := info.TypeOf(v.Lhs[i]); boxes(info, rhs, target) {
+					report(rhs.Pos(), fmt.Sprintf("interface boxing (assigning %s to %s)",
+						typeStr(pkg, info.TypeOf(rhs)), typeStr(pkg, target)))
+				}
+			}
+
+		case *ast.ReturnStmt:
+			sig := enclosingSignature(info, parents, v, fn)
+			if sig == nil || sig.Results().Len() != len(v.Results) {
+				return true
+			}
+			for i, res := range v.Results {
+				if target := sig.Results().At(i).Type(); boxes(info, res, target) {
+					report(res.Pos(), fmt.Sprintf("interface boxing (returning %s as %s)",
+						typeStr(pkg, info.TypeOf(res)), typeStr(pkg, target)))
+				}
+			}
+
+		case *ast.CallExpr:
+			st.checkCall(prog, cg, pkg, fn, v, nilSlices, localFns, report)
+		}
+		return true
+	})
+}
+
+func typeStr(pkg *Package, t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}
+
+// enclosingSignature finds the signature governing a return statement —
+// the innermost func literal's, or fn's own.
+func enclosingSignature(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node, fn *types.Func) *types.Signature {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if lit, ok := p.(*ast.FuncLit); ok {
+			sig, _ := info.TypeOf(lit).(*types.Signature)
+			return sig
+		}
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// boxes reports whether assigning e to a target of the given type converts a
+// non-pointer concrete value into an interface — a heap allocation. Values
+// already word-sized references (pointers, channels, maps, funcs) fit in the
+// interface data word without allocating.
+func boxes(info *types.Info, e ast.Expr, target types.Type) bool {
+	if target == nil {
+		return false
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// checkCall handles builtin, conversion, external, dynamic, and argument
+// boxing rules for one call site.
+func (st *noallocState) checkCall(prog *Program, cg *CallGraph, pkg *Package, fn *types.Func,
+	call *ast.CallExpr, nilSlices, localFns map[types.Object]bool, report func(token.Pos, string)) {
+
+	info := pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				if len(call.Args) > 0 {
+					if dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+						if obj := info.Uses[dst]; obj != nil && nilSlices[obj] {
+							report(call.Pos(), fmt.Sprintf("append to nil-started slice %s (growth must allocate)", dst.Name))
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Type conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			if conversionAllocates(src, target) {
+				report(call.Pos(), fmt.Sprintf("conversion %s -> %s copies the data",
+					typeStr(pkg, src), typeStr(pkg, target)))
+			} else if boxes(info, call.Args[0], target) {
+				report(call.Pos(), fmt.Sprintf("interface boxing (converting %s to %s)",
+					typeStr(pkg, info.TypeOf(call.Args[0])), typeStr(pkg, target)))
+			}
+		}
+		return
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		// Not a builtin, not a conversion, not a named function: a dynamic
+		// call through a function value. The callee is unknowable statically,
+		// so the noalloc guarantee cannot be proven — unless it is a func
+		// literal (or a local name bound to one), whose body is checked here.
+		known := false
+		switch v := ast.Unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			known = true
+		case *ast.Ident:
+			known = localFns[info.Uses[v]]
+		}
+		if !known {
+			report(call.Pos(), "dynamic call through function value (callee unknown)")
+		}
+		st.checkArgBoxing(pkg, call, report)
+		return
+	}
+
+	// Module-internal callees are covered by reachability (or explicitly
+	// allowalloc); interface calls resolve via CHA the same way.
+	if len(cg.ResolveCall(pkg, call)) > 0 {
+		st.checkArgBoxing(pkg, call, report)
+		return
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			// Interface method with no module-internal implementers: external
+			// dynamic dispatch (e.g. error.Error) — unprovable.
+			report(call.Pos(), fmt.Sprintf("call to interface method %s (dynamic dispatch, callee unknown)", callee.Name()))
+			return
+		}
+	}
+
+	// External package call.
+	if callee.Pkg() != nil && !allocAllowlist[callee.Pkg().Path()] {
+		if !moduleInternal(prog, callee) {
+			report(call.Pos(), fmt.Sprintf("call to %s.%s (external package, not on the noalloc allowlist)",
+				callee.Pkg().Path(), callee.Name()))
+			return
+		}
+	}
+	st.checkArgBoxing(pkg, call, report)
+}
+
+// moduleInternal reports whether fn belongs to one of the loaded packages.
+func moduleInternal(prog *Program, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Types == fn.Pkg() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkArgBoxing flags non-pointer values boxed into interface parameters.
+func (st *noallocState) checkArgBoxing(pkg *Package, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pkg.Info
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var target types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			target = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			target = params.At(i).Type()
+		}
+		if boxes(info, arg, target) {
+			report(arg.Pos(), fmt.Sprintf("interface boxing (passing %s as %s)",
+				typeStr(pkg, info.TypeOf(arg)), typeStr(pkg, target)))
+		}
+	}
+}
+
+// conversionAllocates reports string <-> []byte/[]rune conversions, which
+// copy the backing data.
+func conversionAllocates(src, dst types.Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	return (isStringType(src) && isByteOrRuneSlice(dst)) ||
+		(isByteOrRuneSlice(src) && isStringType(dst))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

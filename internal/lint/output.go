@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Machine-readable output: a stable JSON shape for scripting and SARIF 2.1.0
+// for code-scanning UIs (the CI workflow uploads the SARIF as an artifact).
+// Both emit module-relative, slash-separated paths so the output is
+// reproducible across checkouts.
+
+// JSONFinding is the JSON wire form of one finding.
+type JSONFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// relPath rewrites an absolute filename to a module-relative slash path.
+func relPath(moduleRoot, filename string) string {
+	if moduleRoot != "" {
+		if r, err := filepath.Rel(moduleRoot, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// ToJSONFindings converts findings to their wire form with paths relative to
+// moduleRoot.
+func ToJSONFindings(moduleRoot string, findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(moduleRoot, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the findings as an indented JSON array.
+func WriteJSON(w io.Writer, moduleRoot string, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSONFindings(moduleRoot, findings))
+}
+
+// analyzerDocs maps analyzer names to their one-line rule description for
+// SARIF rule metadata.
+var analyzerDocs = map[string]string{
+	"lockcheck":    "guarded-by fields must be accessed under their mutex; lock-bearing structs must not be copied",
+	"errwrap":      "wrap error operands with %w; use fmt.Errorf instead of errors.New(fmt.Sprintf(...))",
+	"bufalias":     "recycled per-batch buffers must not escape the batch scope",
+	"goroutinectx": "goroutines must be joined or cancellable",
+	"lockorder":    "lock acquisition must be acyclic and locks must not be held across blocking operations",
+	"noalloc":      "pclint:noalloc paths must not contain allocation-inducing constructs",
+	"poolcheck":    "sync.Pool objects: no use after Put, no double Put, no Put of escaped objects, no leak on early return",
+}
+
+// sarifLog mirrors the subset of SARIF 2.1.0 pclint emits.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes the findings as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, moduleRoot string, findings []Finding) error {
+	ruleSet := make(map[string]bool)
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ruleSet[f.Analyzer] = true
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relPath(moduleRoot, f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	ruleIDs := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ruleIDs = append(ruleIDs, id)
+	}
+	sort.Strings(ruleIDs)
+	rules := make([]sarifRule, 0, len(ruleIDs))
+	for _, id := range ruleIDs {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: analyzerDocs[id]}})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "pclint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

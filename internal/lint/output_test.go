@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenFindings is a fixed finding set exercising both output encoders: two
+// analyzers, absolute paths under a fake module root, multibyte-free messages.
+func goldenFindings() (string, []Finding) {
+	root := filepath.Join(string(filepath.Separator), "mod")
+	mk := func(analyzer, rel string, line, col int, msg string) Finding {
+		return Finding{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(rel)), Line: line, Column: col},
+			Message:  msg,
+		}
+	}
+	return root, []Finding{
+		mk("lockorder", "internal/core/cache.go", 41, 2, "lock-order cycle among {core.Cache.mu, core.Table.mu}"),
+		mk("noalloc", "internal/engine/scan.go", 120, 10, "make in pclint:noalloc function (*engine.Scan).scanSlice"),
+		mk("noalloc", "internal/engine/scan.go", 188, 4, "string concatenation in hashKey on pclint:noalloc path (root scanSlice)"),
+	}
+}
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	return string(data)
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	root, findings := goldenFindings()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got, want := buf.String(), readGolden(t, "findings.json"); got != want {
+		t.Errorf("JSON output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteSARIFGolden(t *testing.T) {
+	root, findings := goldenFindings()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if got, want := buf.String(), readGolden(t, "findings.sarif"); got != want {
+		t.Errorf("SARIF output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestBaselineRoundTrip freezes findings into a baseline, saves and reloads
+// it, and verifies the same findings are fully absorbed with nothing stale —
+// and that new findings and removed findings are classified correctly.
+func TestBaselineRoundTrip(t *testing.T) {
+	root, findings := goldenFindings()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	b := NewBaseline(root, findings)
+	if err := b.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	fresh, stale := loaded.Filter(root, findings)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not clean: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A finding not in the baseline stays fresh.
+	extra := Finding{Analyzer: "errwrap", Pos: token.Position{Filename: filepath.Join(root, "x.go"), Line: 3, Column: 1}, Message: "new"}
+	fresh, stale = loaded.Filter(root, append(append([]Finding{}, findings...), extra))
+	if len(fresh) != 1 || fresh[0].Message != "new" || len(stale) != 0 {
+		t.Fatalf("extra finding misclassified: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A fixed finding leaves its entry stale.
+	fresh, stale = loaded.Filter(root, findings[:len(findings)-1])
+	if len(fresh) != 0 || len(stale) != 1 {
+		t.Fatalf("fixed finding misclassified: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// Duplicate findings need duplicate entries (multiset matching).
+	dup := append(append([]Finding{}, findings...), findings[0])
+	fresh, _ = loaded.Filter(root, dup)
+	if len(fresh) != 1 {
+		t.Fatalf("duplicate finding should exceed the single-entry budget: fresh=%v", fresh)
+	}
+
+	// Saving again must be byte-identical (deterministic serialization).
+	data1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(path); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Error("baseline serialization is not deterministic")
+	}
+}
+
+// TestMissingBaselineIsEmpty: a missing baseline file suppresses nothing.
+func TestMissingBaselineIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline on missing file: %v", err)
+	}
+	_, findings := goldenFindings()
+	fresh, stale := b.Filter("/mod", findings)
+	if len(fresh) != len(findings) || len(stale) != 0 {
+		t.Fatalf("missing baseline should pass findings through: fresh=%d stale=%d", len(fresh), len(stale))
+	}
+}

@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolCheck enforces the sync.Pool lifetime protocol on which the scan path's
+// pooled scratch buffers depend. An object drawn from a pool is owned until it
+// is Put back; after the Put it belongs to any goroutine, so:
+//
+//   - no use after Put — the object may already be handed to another scan;
+//   - no double Put — the pool would hand the same object out twice;
+//   - no Put of an escaped object — if a reference was stored into a field,
+//     a slice/map, a channel, or returned, the Put recycles memory someone
+//     still sees;
+//   - no leak on an early return — a function that releases its pooled object
+//     on the main path must release it on every return (missing Puts don't
+//     crash, they just silently turn the pool into plain allocation).
+//
+// Objects enter the protocol via a direct <pool>.Get() (possibly through a
+// type assertion) or via a call to an acquire wrapper (a PoolSource fact,
+// derived cross-package from the wrapper's body — see facts.go). Puts are
+// direct <pool>.Put(v), calls to release wrappers (PoolSink facts) with v as
+// receiver or argument, and both forms under defer. The tracking is lexical
+// and per-function, with the same early-exit restore model as lockcheck: a
+// Put immediately followed by return/break/continue does not poison code
+// after the branch. Suppress intentional protocol departures with
+// `pclint:allow poolcheck: <why>`.
+type PoolCheck struct{}
+
+// Name implements Analyzer.
+func (PoolCheck) Name() string { return "poolcheck" }
+
+// Run implements Analyzer.
+func (pc PoolCheck) Run(prog *Program, pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, fd := range fileFuncs(file) {
+			if fd.Body == nil {
+				continue
+			}
+			out = append(out, pc.checkFunc(prog, pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// poolEvent is one lifecycle-relevant occurrence of a pooled variable.
+type poolEvent struct {
+	pos  token.Pos
+	kind poolEventKind
+	node ast.Node
+}
+
+type poolEventKind int
+
+const (
+	evDef poolEventKind = iota // (re)acquired from the pool: state -> live
+	evUse                      // any other mention of the variable
+	evPut                      // returned to the pool: state -> put
+	evRestore                  // end of an exiting statement after a Put: state -> live
+	evEscape                   // stored beyond the function's control
+)
+
+func (pc PoolCheck) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	info := pkg.Info
+
+	// Phase 1: find pooled variables — locals bound to pool.Get() or an
+	// acquire-wrapper call.
+	pooled := make(map[types.Object]token.Pos) // obj -> first definition pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if !acquiresFromPool(prog, info, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = info.Defs[id]
+			} else {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				if _, seen := pooled[obj]; !seen {
+					pooled[obj] = as.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return nil
+	}
+
+	exiting := collectExiting(fd.Body)
+
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: "poolcheck",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	objs := make([]types.Object, 0, len(pooled))
+	for obj := range pooled {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return pooled[objs[i]] < pooled[objs[j]] })
+
+	for _, obj := range objs {
+		events, deferredPut := collectPoolEvents(prog, pkg, fd, obj, exiting)
+		sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+		// Lexical state machine.
+		const (
+			live = iota
+			put
+		)
+		state := live
+		escaped := false
+		var lastPutPos token.Pos
+		for _, ev := range events {
+			switch ev.kind {
+			case evDef:
+				state = live
+				escaped = false
+			case evPut:
+				if state == put {
+					report(ev.pos, "%s is returned to the pool twice (double Put): the pool will hand the same object out to two callers", obj.Name())
+				}
+				if escaped {
+					report(ev.pos, "%s is returned to the pool after a reference escaped: the escaped reference now aliases recycled memory", obj.Name())
+				}
+				state = put
+				lastPutPos = ev.pos
+			case evRestore:
+				state = live
+			case evEscape:
+				escaped = true
+			case evUse:
+				if state == put {
+					report(ev.pos, "%s is used after being returned to the pool (use after Put): another goroutine may already own it", obj.Name())
+				}
+			}
+		}
+
+		// Leak on early return: only meaningful when the function does release
+		// the object lexically (a deferred Put covers every return).
+		if lastPutPos == token.NoPos || deferredPut {
+			continue
+		}
+		defPos := pooled[obj]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			if ret.Pos() <= defPos || ret.Pos() >= lastPutPos {
+				return true
+			}
+			// State at this return: replay events up to the return position.
+			st, esc := live, false
+			returnsObj := false
+			for _, res := range ret.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.Uses[id] == obj {
+					returnsObj = true
+				}
+			}
+			for _, ev := range events {
+				if ev.pos >= ret.Pos() {
+					break
+				}
+				switch ev.kind {
+				case evDef:
+					st, esc = live, false
+				case evPut:
+					st = put
+				case evRestore:
+					st = live
+				case evEscape:
+					esc = true
+				}
+			}
+			if st == live && !esc && !returnsObj {
+				report(ret.Pos(), "return leaks pooled object %s (released on the main path but not on this one); Put it or defer the release", obj.Name())
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// acquiresFromPool reports whether the expression yields a pool-owned object:
+// <pool>.Get(), <pool>.Get().(*T), or a call to a PoolSource wrapper.
+func acquiresFromPool(prog *Program, info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if m, ok := poolCall(info, call); ok && m == "Get" {
+		return true
+	}
+	if fn := calleeFunc(info, call); fn != nil && prog.PoolSource[fn] {
+		return true
+	}
+	return false
+}
+
+// putsToPool reports whether the call returns obj to a pool: <pool>.Put(obj),
+// sink(obj, ...), or obj.release() with release a PoolSink.
+func putsToPool(prog *Program, info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	if m, ok := poolCall(info, call); ok && m == "Put" {
+		return len(call.Args) == 1 && isObj(call.Args[0])
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || !prog.PoolSink[fn] {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isObj(sel.X) {
+		return true // obj.release()
+	}
+	for _, arg := range call.Args {
+		if isObj(arg) {
+			return true // release(obj)
+		}
+	}
+	return false
+}
+
+// collectPoolEvents gathers the lexical lifecycle events of one pooled
+// variable, and reports whether a deferred Put covers function exit.
+func collectPoolEvents(prog *Program, pkg *Package, fd *ast.FuncDecl, obj types.Object,
+	exiting map[*ast.CallExpr]token.Pos) (events []poolEvent, deferredPut bool) {
+
+	info := pkg.Info
+
+	// Identify Put calls and deferred Puts first so uses inside them are not
+	// double-counted.
+	putCalls := make(map[*ast.CallExpr]bool)
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[v.Call] = true
+			// defer pool.Put(v) / defer v.release() / defer func(){...v.release()...}()
+			if putsToPool(prog, info, v.Call, obj) {
+				deferredPut = true
+			} else if lit, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && putsToPool(prog, info, c, obj) {
+						deferredPut = true
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if putsToPool(prog, info, v, obj) {
+				putCalls[v] = true
+			}
+		}
+		return true
+	})
+
+	// insidePut marks ident positions that belong to a non-deferred Put call's
+	// own mention of obj (argument or receiver) — those are the Put, not a use.
+	insidePut := make(map[token.Pos]bool)
+	for call := range putCalls {
+		if deferredCalls[call] {
+			continue
+		}
+		mark := func(e ast.Expr) {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && info.Uses[id] == obj {
+				insidePut[id.Pos()] = true
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			mark(sel.X)
+		}
+		for _, arg := range call.Args {
+			mark(arg)
+		}
+	}
+
+	isObjIdent := func(e ast.Expr) (token.Pos, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return token.NoPos, false
+		}
+		if info.Uses[id] == obj {
+			return id.Pos(), true
+		}
+		return token.NoPos, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			// Re-acquisition revives the variable; a store of obj into a
+			// field, slice, or map element escapes it.
+			if len(v.Rhs) == 1 && acquiresFromPool(prog, info, v.Rhs[0]) {
+				if id, ok := v.Lhs[0].(*ast.Ident); ok {
+					o := info.Defs[id]
+					if o == nil {
+						o = info.Uses[id]
+					}
+					if o == obj {
+						events = append(events, poolEvent{pos: v.Pos(), kind: evDef, node: v})
+					}
+				}
+			}
+			for i, rhs := range v.Rhs {
+				if pos, ok := isObjIdent(rhs); ok && i < len(v.Lhs) {
+					switch ast.Unparen(v.Lhs[i]).(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						events = append(events, poolEvent{pos: pos, kind: evEscape, node: v})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if pos, ok := isObjIdent(v.Value); ok {
+				events = append(events, poolEvent{pos: pos, kind: evEscape, node: v})
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				if pos, ok := isObjIdent(res); ok {
+					events = append(events, poolEvent{pos: pos, kind: evEscape, node: v})
+				}
+			}
+		case *ast.CallExpr:
+			if putCalls[v] && !deferredCalls[v] {
+				events = append(events, poolEvent{pos: v.Pos(), kind: evPut, node: v})
+				if end, ok := exiting[v]; ok {
+					events = append(events, poolEvent{pos: end, kind: evRestore, node: v})
+				}
+			}
+		case *ast.Ident:
+			if info.Uses[v] == obj && !insidePut[v.Pos()] {
+				events = append(events, poolEvent{pos: v.Pos(), kind: evUse, node: v})
+			}
+		}
+		return true
+	})
+	return events, deferredPut
+}

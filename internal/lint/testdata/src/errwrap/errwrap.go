@@ -33,3 +33,24 @@ func good4() error {
 func goodNonConst(format string) error {
 	return fmt.Errorf(format, errBase) // format unknown: not our call
 }
+
+func badSprintfNew() error {
+	return errors.New(fmt.Sprintf("query %d failed", 7)) // want
+}
+
+func badErrorStringified() error {
+	return fmt.Errorf("scan failed: %s", errBase.Error()) // want
+}
+
+func badErrorStringifiedQ() error {
+	err := bad1()
+	return fmt.Errorf("scan failed: %q", err.Error()) // want
+}
+
+func goodPlainNew() error { return errors.New("plain message") }
+
+func goodSprintfAlone() string {
+	// Sprintf outside error construction is fine; so is stringifying for a
+	// non-error destination.
+	return fmt.Sprintf("status: %s", errBase.Error())
+}

@@ -1,0 +1,87 @@
+// Package lockorder is a pclint test fixture; "want" comment markers flag the
+// lines where the lockorder analyzer must report.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a  A
+	b  B
+	ch = make(chan int)
+)
+
+// abOrder acquires A.mu then B.mu; together with baOrder below this forms a
+// lock-order cycle, reported once at the lexically first internal edge.
+func abOrder() {
+	a.mu.Lock()
+	b.mu.Lock() // want — cycle {A.mu, B.mu} attributed to this edge
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// baOrder is the opposite order; the cycle is reported on abOrder's edge, so
+// this acquisition itself carries no finding.
+func baOrder() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// recursive re-acquires the same mutex of the same instance.
+func recursive() {
+	a.mu.Lock()
+	a.mu.Lock() // want — self-deadlock
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// blockUnderLock holds a lock across a channel send.
+func blockUnderLock() {
+	a.mu.Lock()
+	ch <- 1 // want — blocking under lock
+	a.mu.Unlock()
+}
+
+// sleepy blocks; on its own that is fine.
+func sleepy() {
+	time.Sleep(time.Millisecond)
+}
+
+// callsBlockingUnderLock reaches a blocking operation through a callee.
+func callsBlockingUnderLock() {
+	b.mu.Lock()
+	sleepy() // want — callee may block
+	b.mu.Unlock()
+}
+
+// earlyExit releases on the early path; code after the branch runs with the
+// lock held on the fall-through path, so nothing is misreported.
+func earlyExit(cond bool) {
+	a.mu.Lock()
+	if cond {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+}
+
+// deferUnlock holds to function end via defer; no blocking op follows.
+func deferUnlock() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// suppressed demonstrates the pclint:allow escape hatch.
+func suppressed() {
+	a.mu.Lock()
+	ch <- 2 // pclint:allow lockorder: fixture demonstrates suppression
+	a.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+// Package noalloc is a pclint test fixture; "want" comment markers flag the
+// lines where the noalloc analyzer must report.
+package noalloc
+
+type scratch struct {
+	ints []int
+	fn   func()
+}
+
+// hot is a hot-path root: no allocation in it or anything it reaches.
+// pclint:noalloc
+func hot(s *scratch, xs []int) int {
+	total := 0
+	inc := func(v int) int { return v + 1 } // local-call-only closure: no escape
+	for _, x := range xs {
+		total += inc(x)
+	}
+	m := make([]int, 8) // want — make
+	_ = m
+	var acc []int
+	acc = append(acc, total) // want — append to nil-started slice
+	_ = acc
+	s.ints = append(s.ints, total) // ok: amortized into caller-owned scratch
+	s.fn = func() {}               // want — escaping closure
+	go func() {}()                 // want — go statement
+	sink(total) // want — boxing int into any
+	helper(s, "x")
+	dyn(func() {}) // want — closure passed as argument escapes
+	cold(s)
+	return total
+}
+
+func sink(v any) { _ = v }
+
+// helper is reachable from hot and checked transitively.
+func helper(s *scratch, pfx string) {
+	s.ints = s.ints[:0]
+	name := pfx + "!" // want — string concatenation
+	bs := []byte(name) // want — string to []byte conversion
+	_ = bs
+}
+
+// dyn calls through a function value; the callee is unknowable.
+func dyn(f func()) {
+	f() // want — dynamic call
+}
+
+// cold grows the scratch slice; amortized, exempt from traversal.
+// pclint:allowalloc amortized growth path
+func cold(s *scratch) {
+	s.ints = append(s.ints, make([]int, 16)...)
+}
+
+// notHot is not reachable from any noalloc root; it may allocate freely.
+func notHot() []int {
+	return make([]int, 4)
+}
+
+// suppressedRoot shows the line-level escape hatch.
+// pclint:noalloc
+func suppressedRoot() {
+	s := make([]int, 2) // pclint:allow noalloc: provably stack-allocated here
+	_ = s
+}

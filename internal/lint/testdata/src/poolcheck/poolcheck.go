@@ -1,0 +1,94 @@
+// Package poolcheck is a pclint test fixture; "want" comment markers flag the
+// lines where the poolcheck analyzer must report.
+package poolcheck
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+// acquire is a PoolSource fact: callers own a pooled object.
+func acquire() *buf { return pool.Get().(*buf) }
+
+// release is a PoolSink fact: calling it counts as a Put of the argument.
+func release(b *buf) { pool.Put(b) }
+
+type holder struct{ h *buf }
+
+var global holder
+
+// useAfterPut touches the object after returning it (direct Get/Put form).
+func useAfterPut() {
+	b := pool.Get().(*buf)
+	pool.Put(b)
+	b.b = nil // want — use after Put
+}
+
+// doublePut releases twice through the wrapper.
+func doublePut() {
+	b := acquire()
+	release(b)
+	release(b) // want — double Put
+}
+
+// putEscaped stores a reference before releasing.
+func putEscaped() {
+	b := acquire()
+	global.h = b
+	release(b) // want — Put after escape
+}
+
+// leakOnEarlyReturn releases on the main path but not the early one.
+func leakOnEarlyReturn(cond bool) {
+	b := acquire()
+	if cond {
+		return // want — leaks b
+	}
+	release(b)
+}
+
+// goodEarlyExit releases on every path; the early-exit release must not
+// poison the fall-through path.
+func goodEarlyExit(cond bool) {
+	b := acquire()
+	if cond {
+		release(b)
+		return
+	}
+	b.b = b.b[:0]
+	release(b)
+}
+
+// goodDefer covers every return with one deferred release.
+func goodDefer(cond bool) {
+	b := acquire()
+	defer release(b)
+	if cond {
+		return
+	}
+	b.b = append(b.b[:0], 1)
+}
+
+// handOff transfers ownership to the caller; no Put required here.
+func handOff() *buf {
+	b := acquire()
+	b.b = b.b[:0]
+	return b
+}
+
+// reacquire rebinds the variable after a Put; the new object is live.
+func reacquire() {
+	b := acquire()
+	release(b)
+	b = acquire()
+	b.b = nil
+	release(b)
+}
+
+// suppressed demonstrates the pclint:allow escape hatch.
+func suppressed() {
+	b := acquire()
+	release(b)
+	b.b = nil // pclint:allow poolcheck: fixture demonstrates suppression
+}

@@ -7,7 +7,16 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// scanBufPool recycles the 1 MiB line buffers ValidateExposition hands its
+// bufio.Scanner; without it every scrape validation allocates a fresh
+// megabyte.
+var scanBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 1<<20)
+	return &b
+}}
 
 // ValidateExposition checks that data is well-formed Prometheus text
 // exposition format (version 0.0.4): every line is a # HELP / # TYPE
@@ -16,8 +25,10 @@ import (
 // floats; a family's TYPE appears at most once and before its samples. The
 // CI smoke job and the metrics tests run every scrape through it.
 func ValidateExposition(data []byte) error {
+	buf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(buf)
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(*buf, 1<<20)
 	typed := make(map[string]string)
 	seen := make(map[string]bool) // families with at least one sample
 	lineNo := 0

@@ -33,6 +33,8 @@ type IntPred struct {
 }
 
 // Match reports whether a single value satisfies the predicate.
+//
+// pclint:noalloc
 func (p *IntPred) Match(v int64) bool {
 	if p.Kind == IntPredSet {
 		_, ok := p.Set[v]
@@ -108,6 +110,9 @@ func AppendRange(dst []RowRange, lo, hi int) []RowRange {
 // (float columns, EncRaw payloads not decided by their bounds, or the open
 // tail) — the caller must fall back to decode-then-filter. spans must be
 // sorted, non-overlapping and within [0, block rows).
+//
+// The kernels append only into the caller-provided dst; pclint:noalloc
+// enforces that the whole encoded-domain path stays allocation-free.
 func (c *ColumnStore) EvalPredRanges(i int, p *IntPred, spans []RowRange, dst []RowRange) (out []RowRange, ok bool) {
 	if c.Typ == Float64 || i >= len(c.blocks) {
 		return dst, false
