@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke bench-smoke check clean
+.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke trace-smoke bench-smoke check clean
 
 all: build
 
@@ -59,13 +59,20 @@ smoke:
 systab-smoke:
 	./scripts/systab_smoke.sh
 
+# End-to-end observability check: boots pcsh with a 1ns slow threshold and a
+# JSON log file, runs a workload with a failing query, and asserts trace
+# retention (pc.traces / pc.trace_spans), SLO histograms (pc.slo), runtime
+# health (pc.runtime) and trace-correlated log lines.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
 # One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
 # the benchmark harness without paying full measurement time.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x .
 
 # Everything CI runs.
-check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke
+check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

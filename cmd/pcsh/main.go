@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	pcsh [-dataset tpch|tpch-skewed|ssb|tpcds] [-sf 0.01] [-cache range|bitmap|off] [-metrics addr]
+//	pcsh [-dataset tpch|tpch-skewed|ssb|tpcds] [-sf 0.01] [-cache range|bitmap|off]
+//	     [-metrics addr] [-slow 1s] [-log file]
 //
 // With -metrics, an HTTP endpoint serves Prometheus text at /metrics, JSON
-// at /metrics.json and pprof under /debug/pprof/.
+// at /metrics.json and pprof under /debug/pprof/. -slow sets the slow-query
+// threshold (flagged in pc.query_log; traces at or over it are always
+// retained). -log writes structured JSON log lines (slow queries, failures,
+// vacuums) carrying query_id/trace_id to the given file ("-" for stderr).
 //
 // Queries prefixed with EXPLAIN print the plan; EXPLAIN ANALYZE executes it
 // and annotates each operator with wall time, cardinalities and per-scan
@@ -19,20 +23,29 @@
 //	\entries        list predicate-cache entries
 //	\log            recent queries from pc.query_log (newest first)
 //	\storage        per-column storage breakdown from pc.table_storage
+//	\trace [id]     list retained traces from pc.traces, or render trace id's span tree
+//	\slo            latency percentiles per query class from pc.slo
 //	\explain <sql>  show the plan without executing
 //	\tables         list tables
 //	\q              quit
 //
 // The same telemetry is SQL-queryable as system tables under the reserved
 // pc schema: pc.query_log, pc.cache_entries, pc.cache_stats,
-// pc.table_storage and pc.metrics all join against user tables.
+// pc.table_storage, pc.metrics, pc.traces, pc.trace_spans, pc.slo and
+// pc.runtime all join against user tables — e.g. find the slowest retained
+// trace's spans with
+//
+//	SELECT s.name, s.dur_us FROM pc.trace_spans s, pc.traces t
+//	WHERE s.trace_id = t.trace_id AND t.reason = 'slow'
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,9 +62,27 @@ func main() {
 	cacheKind := flag.String("cache", "bitmap", "predicate cache: range, bitmap, off")
 	seed := flag.Int64("seed", 1, "generator seed")
 	metricsAddr := flag.String("metrics", "", "serve metrics/pprof on this address (e.g. :8080); empty disables")
+	slow := flag.Duration("slow", 0, "slow-query threshold (0 keeps the default; traces at or over it are always retained)")
+	logPath := flag.String("log", "", `write structured JSON log lines to this file ("-" for stderr); empty disables`)
 	flag.Parse()
 
 	var opts []predcache.Option
+	if *slow > 0 {
+		opts = append(opts, predcache.WithSlowQueryThreshold(*slow))
+	}
+	if *logPath != "" {
+		w := os.Stderr
+		if *logPath != "-" {
+			f, err := os.Create(*logPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcsh: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts = append(opts, predcache.WithLogger(predcache.NewJSONLogger(w, slog.LevelInfo)))
+	}
 	switch *cacheKind {
 	case "off":
 		opts = append(opts, predcache.WithoutPredicateCache())
@@ -133,6 +164,31 @@ func main() {
 			continue
 		case `\storage`:
 			runMeta(db, "select table_name, column_name, column_type, result_rows, blocks, payload_bytes, zonemap_bytes, dict_bytes from pc.table_storage order by table_name")
+			prompt()
+			continue
+		case `\trace`:
+			runMeta(db, "select trace_id, query_class, cache_hit, reason, wall_us, spans, error, query_text from pc.traces order by trace_id desc limit 20")
+			prompt()
+			continue
+		case `\slo`:
+			runMeta(db, "select query_class, cache_outcome, sample_count, p50_us, p99_us, p999_us, max_us, exemplar_trace_id from pc.slo")
+			prompt()
+			continue
+		}
+		if rest, ok := strings.CutPrefix(trimmed, `\trace `); ok {
+			id, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				fmt.Printf("error: \\trace wants a trace id: %v\n", err)
+			} else if rt := db.TraceByID(id); rt == nil {
+				fmt.Printf("trace %d is not retained (never kept, or evicted)\n", id)
+			} else {
+				fmt.Printf("trace %d: class=%s shape=%s reason=%s wall=%v cache_hit=%v\n",
+					rt.TraceID, rt.Class, rt.Shape, rt.Reason, rt.Wall, rt.CacheHit)
+				if rt.Error != "" {
+					fmt.Printf("error: %s\n", rt.Error)
+				}
+				fmt.Print(predcache.RenderTrace(rt))
+			}
 			prompt()
 			continue
 		}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/predcache/predcache/internal/expr"
 	"github.com/predcache/predcache/internal/storage"
@@ -44,11 +45,27 @@ type scanScratch struct {
 	outFloats [][]float64
 }
 
-var scanScratchPool = sync.Pool{New: func() any { return &scanScratch{} }}
+var scanScratchPool = sync.Pool{New: func() any {
+	scratchPoolNews.Add(1)
+	return &scanScratch{}
+}}
+
+// scratchPoolGets counts scratch acquisitions; scratchPoolNews counts the
+// subset that allocated a fresh scratch (pool miss). gets − news is the
+// recycle count: the runtime collector samples both into pc.runtime so a
+// pool-efficiency regression (GC pressure stealing scratches, a leak on an
+// error path) is visible without a heap profile.
+var scratchPoolGets, scratchPoolNews atomic.Int64
+
+// ScratchPoolStats reports lifetime scan-scratch pool counters.
+func ScratchPoolStats() (gets, news int64) {
+	return scratchPoolGets.Load(), scratchPoolNews.Load()
+}
 
 // acquireScanScratch returns a scratch sized for numCols columns with a
 // reset BlockCtx. dicts is shared read-only across slice goroutines.
 func acquireScanScratch(numCols int, dicts []*storage.Dict) *scanScratch {
+	scratchPoolGets.Add(1)
 	scr := scanScratchPool.Get().(*scanScratch)
 	if cap(scr.ints) < numCols {
 		scr.ints = make([][]int64, numCols)

@@ -63,11 +63,11 @@ type noallocState struct {
 // allocAllowlist is the set of external packages whose exported call surface
 // used by this repo does not allocate.
 var allocAllowlist = map[string]bool{
-	"math":        true,
-	"math/bits":   true,
-	"sync":        true,
-	"sync/atomic": true,
-	"time":        true,
+	"math":         true,
+	"math/bits":    true,
+	"sync":         true,
+	"sync/atomic":  true,
+	"time":         true,
 	"unicode/utf8": true,
 }
 

@@ -59,11 +59,11 @@ type poolEvent struct {
 type poolEventKind int
 
 const (
-	evDef poolEventKind = iota // (re)acquired from the pool: state -> live
-	evUse                      // any other mention of the variable
-	evPut                      // returned to the pool: state -> put
-	evRestore                  // end of an exiting statement after a Put: state -> live
-	evEscape                   // stored beyond the function's control
+	evDef     poolEventKind = iota // (re)acquired from the pool: state -> live
+	evUse                          // any other mention of the variable
+	evPut                          // returned to the pool: state -> put
+	evRestore                      // end of an exiting statement after a Put: state -> live
+	evEscape                       // stored beyond the function's control
 )
 
 func (pc PoolCheck) checkFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {

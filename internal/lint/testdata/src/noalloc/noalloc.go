@@ -23,7 +23,7 @@ func hot(s *scratch, xs []int) int {
 	s.ints = append(s.ints, total) // ok: amortized into caller-owned scratch
 	s.fn = func() {}               // want — escaping closure
 	go func() {}()                 // want — go statement
-	sink(total) // want — boxing int into any
+	sink(total)                    // want — boxing int into any
 	helper(s, "x")
 	dyn(func() {}) // want — closure passed as argument escapes
 	cold(s)
@@ -35,7 +35,7 @@ func sink(v any) { _ = v }
 // helper is reachable from hot and checked transitively.
 func helper(s *scratch, pfx string) {
 	s.ints = s.ints[:0]
-	name := pfx + "!" // want — string concatenation
+	name := pfx + "!"  // want — string concatenation
 	bs := []byte(name) // want — string to []byte conversion
 	_ = bs
 }
@@ -61,4 +61,37 @@ func notHot() []int {
 func suppressedRoot() {
 	s := make([]int, 2) // pclint:allow noalloc: provably stack-allocated here
 	_ = s
+}
+
+// The shapes below mirror the trace-retention handoff: a completed trace's
+// span slice moves into a preallocated ring by pointer, never by copy.
+
+type span struct{ id int }
+
+type trace struct{ spans []span }
+
+type traceRing struct {
+	slots [][]span
+	head  int
+}
+
+// takeSpans detaches and parks the span slice — pure pointer moves, and the
+// analyzer must accept it without annotations.
+// pclint:noalloc
+func takeSpans(tr *trace, r *traceRing) {
+	sp := tr.spans // ok: slice-header move, no copy
+	tr.spans = nil
+	r.slots[r.head] = sp // ok: store into a preallocated slot
+	r.head++
+}
+
+// badHandoff copies the spans instead of moving the slice header; any
+// allocation here defeats the O(1) handoff guarantee and must be flagged.
+// pclint:noalloc
+func badHandoff(tr *trace, r *traceRing) {
+	dup := make([]span, len(tr.spans)) // want — make on the handoff path
+	copy(dup, tr.spans)
+	var out []span
+	out = append(out, dup...) // want — append to nil-started slice
+	r.slots[r.head] = out
 }

@@ -1,0 +1,111 @@
+// Structured logging with query/trace correlation. The engine logs little —
+// warnings and errors on the query path, lifecycle notes from vacuum and the
+// view manager — but every line that concerns a query carries its query_id
+// and trace_id, so a log line is always one SQL join away from the retained
+// trace that explains it:
+//
+//	{"level":"WARN","msg":"slow query","query_id":17,"trace_id":17,...}
+//	SELECT * FROM pc.trace_spans WHERE trace_id = 17;
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Logger is a nil-safe wrapper over *slog.Logger, matching the package's
+// tracing discipline: every method on a nil *Logger is a no-op, so the
+// disabled path costs one branch and zero allocation (attribute arguments
+// are only evaluated after the nil check by helper methods taking closures
+// is overkill here — call sites are warn/error paths, not hot loops).
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger wraps a slog handler. A nil handler yields a nil (disabled)
+// logger.
+func NewLogger(h slog.Handler) *Logger {
+	if h == nil {
+		return nil
+	}
+	return &Logger{s: slog.New(h)}
+}
+
+// NewJSONLogger logs JSON lines at level to w (the pcsh -log flag's
+// format). A nil writer yields a disabled logger.
+func NewJSONLogger(w io.Writer, level slog.Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return NewLogger(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Slog exposes the wrapped *slog.Logger (nil when disabled) for callers
+// that need the stdlib surface directly.
+func (l *Logger) Slog() *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.s
+}
+
+// With returns a logger whose lines all carry the given attributes
+// (slog.Logger.With). Nil stays nil.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// WithQuery returns a logger stamped with query_id and trace_id — the same
+// value, since retained traces are keyed by the query's pc.query_log.seq —
+// so both spellings are greppable and joinable.
+func (l *Logger) WithQuery(seq int64) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With("query_id", seq, "trace_id", seq)}
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Debug(msg, args...)
+}
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Info(msg, args...)
+}
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Warn(msg, args...)
+}
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.s.Error(msg, args...)
+}
+
+// Enabled reports whether the logger would emit at level; call sites with
+// expensive attribute computation should gate on it.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	return l.s.Enabled(context.Background(), level)
+}

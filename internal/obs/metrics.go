@@ -73,6 +73,16 @@ func (h *Histogram) Count() uint64 {
 // seconds: 100µs to 10s, roughly ×2.5 per step.
 var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// HistSnapshot is a point-in-time histogram state for pull-style histogram
+// metrics (NewHistogramFunc): per-bucket counts (not cumulative; the last
+// entry is the +Inf overflow), the upper bounds, and the running sum/count.
+type HistSnapshot struct {
+	Bounds []float64 // ascending upper bounds, +Inf implicit
+	Counts []uint64  // len(Bounds)+1 per-bucket counts, last is overflow
+	Sum    float64
+	N      uint64
+}
+
 // metric is one registered metric of any kind.
 type metric struct {
 	name, help, typ string
@@ -80,6 +90,7 @@ type metric struct {
 	counterFn       func() int64
 	gaugeFn         func() float64
 	hist            *Histogram
+	histFn          func() HistSnapshot
 }
 
 // Metrics is a registry of named metrics. Registration methods are
@@ -153,6 +164,15 @@ func (m *Metrics) NewHistogram(name, help string, bounds []float64) *Histogram {
 	return mt.hist
 }
 
+// NewHistogramFunc registers a pull-style histogram: fn is read at scrape
+// time. Use for components that already maintain bucketed state internally
+// (the SLO histograms), so observations never pay registry overhead.
+func (m *Metrics) NewHistogramFunc(name, help string, fn func() HistSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerLocked(name, &metric{name: name, help: help, typ: "histogram", histFn: fn})
+}
+
 // snapshotLocked returns the metrics in registration order.
 //
 // pclint:held — callers hold m.mu.
@@ -183,7 +203,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		case mt.gaugeFn != nil:
 			_, err = fmt.Fprintf(w, "%s %s\n", mt.name, formatFloat(mt.gaugeFn()))
 		case mt.hist != nil:
-			err = writeHistogram(w, mt.name, mt.hist)
+			err = writeHistogram(w, mt.name, mt.hist.snapshot())
+		case mt.histFn != nil:
+			err = writeHistogram(w, mt.name, mt.histFn())
 		}
 		if err != nil {
 			return fmt.Errorf("obs: write exposition: %w", err)
@@ -192,22 +214,33 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+// snapshot captures the push-style histogram as a HistSnapshot.
+func (h *Histogram) snapshot() HistSnapshot {
 	h.mu.Lock()
-	bounds := h.bounds
-	counts := append([]uint64(nil), h.counts...)
-	sum, n := h.sum, h.n
-	h.mu.Unlock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		N:      h.n,
+	}
+}
+
+func writeHistogram(w io.Writer, name string, s HistSnapshot) error {
 	cum := uint64(0)
-	for i, b := range bounds {
-		cum += counts[i]
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
 			return err
 		}
 	}
-	cum += counts[len(bounds)]
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
 	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
-		name, cum, name, formatFloat(sum), name, n)
+		name, cum, name, formatFloat(s.Sum), name, s.N)
 	return err
 }
 
@@ -228,17 +261,9 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		case mt.gaugeFn != nil:
 			obj[mt.name] = mt.gaugeFn()
 		case mt.hist != nil:
-			mt.hist.mu.Lock()
-			buckets := make(map[string]uint64, len(mt.hist.bounds)+1)
-			cum := uint64(0)
-			for i, b := range mt.hist.bounds {
-				cum += mt.hist.counts[i]
-				buckets[formatFloat(b)] = cum
-			}
-			cum += mt.hist.counts[len(mt.hist.bounds)]
-			buckets["+Inf"] = cum
-			obj[mt.name] = map[string]any{"count": mt.hist.n, "sum": mt.hist.sum, "buckets": buckets}
-			mt.hist.mu.Unlock()
+			obj[mt.name] = histJSON(mt.hist.snapshot())
+		case mt.histFn != nil:
+			obj[mt.name] = histJSON(mt.histFn())
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -247,6 +272,23 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("obs: write json metrics: %w", err)
 	}
 	return nil
+}
+
+// histJSON renders a histogram snapshot as the JSON-exporter object shape.
+func histJSON(s HistSnapshot) map[string]any {
+	buckets := make(map[string]uint64, len(s.Bounds)+1)
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		buckets[formatFloat(b)] = cum
+	}
+	if len(s.Counts) > len(s.Bounds) {
+		cum += s.Counts[len(s.Bounds)]
+	}
+	buckets["+Inf"] = cum
+	return map[string]any{"count": s.N, "sum": s.Sum, "buckets": buckets}
 }
 
 // MetricSample is one flattened sample of the registry: counters and gauges
@@ -282,6 +324,11 @@ func (m *Metrics) Samples() []MetricSample {
 			out = append(out,
 				MetricSample{mt.name + "_count", mt.typ, mt.help, float64(n)},
 				MetricSample{mt.name + "_sum", mt.typ, mt.help, sum})
+		case mt.histFn != nil:
+			s := mt.histFn()
+			out = append(out,
+				MetricSample{mt.name + "_count", mt.typ, mt.help, float64(s.N)},
+				MetricSample{mt.name + "_sum", mt.typ, mt.help, s.Sum})
 		}
 	}
 	return out

@@ -191,6 +191,64 @@ func (s SpanRef) End() {
 	s.t.mu.Unlock()
 }
 
+// FinishOpen ends every span still open (error and cancellation paths
+// unwind without running the usual defer discipline past the failure point)
+// and, when errMsg is non-empty, attaches it as an "error" attribute on the
+// first root span so the retained trace records what killed the query. Safe
+// to call on a completed trace: closed spans keep their durations.
+func (t *Trace) FinishOpen(errMsg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	for i := range t.spans {
+		if t.spans[i].Dur == 0 {
+			d := now - t.spans[i].Start
+			if d <= 0 {
+				d = 1
+			}
+			t.spans[i].Dur = d
+		}
+	}
+	t.stack = t.stack[:0]
+	if errMsg != "" {
+		for i := range t.spans {
+			if t.spans[i].Parent < 0 {
+				t.spans[i].Attrs = append(t.spans[i].Attrs, Attr{Key: "error", Str: errMsg, IsStr: true})
+				break
+			}
+		}
+	}
+}
+
+// TakeSpans detaches and returns the recorded spans without copying: the
+// trace is empty afterwards and the caller owns the slice. This is the O(1)
+// pointer move the post-completion retention handoff relies on — a query's
+// spans migrate into the TraceStore without per-span work.
+func (t *Trace) TakeSpans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := t.spans
+	t.spans = nil
+	t.stack = t.stack[:0]
+	return spans
+}
+
+// NumSpans returns the number of spans recorded so far.
+func (t *Trace) NumSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
 // Spans returns a copy of all recorded spans in creation order.
 func (t *Trace) Spans() []Span {
 	if t == nil {
@@ -213,7 +271,12 @@ func (t *Trace) Render() string {
 	if t == nil {
 		return ""
 	}
-	spans := t.Spans()
+	return RenderSpans(t.Spans())
+}
+
+// RenderSpans formats a detached span slice (a retained trace's spans) the
+// same way Trace.Render formats a live trace.
+func RenderSpans(spans []Span) string {
 	children := make(map[int][]int)
 	var roots []int
 	for _, sp := range spans {

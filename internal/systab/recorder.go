@@ -96,10 +96,12 @@ func NewQueryRecorder(capacity int, slowThreshold time.Duration) *QueryRecorder 
 }
 
 // Record appends one query record, overwriting the oldest when full. It
-// assigns rec.Seq and the Slow flag.
-func (q *QueryRecorder) Record(rec QueryRecord) {
+// assigns rec.Seq and the Slow flag, and returns the assigned sequence
+// number — the query's process-wide ID, which trace retention reuses as the
+// trace ID so pc.traces joins pc.query_log on it. A nil recorder returns -1.
+func (q *QueryRecorder) Record(rec QueryRecord) int64 {
 	if q == nil {
-		return
+		return -1
 	}
 	q.mu.Lock()
 	rec.Seq = q.seq
@@ -111,6 +113,15 @@ func (q *QueryRecorder) Record(rec QueryRecord) {
 		q.n++
 	}
 	q.mu.Unlock()
+	return rec.Seq
+}
+
+// SlowThreshold returns the recorder's slow-query threshold.
+func (q *QueryRecorder) SlowThreshold() time.Duration {
+	if q == nil {
+		return 0
+	}
+	return q.slow
 }
 
 // Records returns the retained history, oldest first.

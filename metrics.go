@@ -74,6 +74,12 @@ func (db *DB) EnableMetrics(m *obs.Metrics) {
 	if db.cache != nil {
 		db.cache.RegisterMetrics(m)
 	}
+	// The observability layer is built at the end of Open; when EnableMetrics
+	// runs earlier (the WithMetrics option), these are nil no-ops and Open
+	// registers them once the layer exists.
+	db.slo.RegisterMetrics(m)
+	db.traces.RegisterMetrics(m)
+	obs.RegisterSamplerMetrics(m, db.runtime.Load)
 	db.metrics.Store(qm)
 	db.metricsReg.Store(m)
 }

@@ -102,6 +102,23 @@ type DB struct {
 	qlog      *systab.QueryRecorder
 	qlogCap   int
 	slowQuery time.Duration
+
+	// traces tail-samples completed query traces (pc.traces, pc.trace_spans)
+	// and slo aggregates latency histograms per query class (pc.slo). Both
+	// immutable after Open; traces is nil when WithoutTraces disabled it.
+	// traceCfg and tracesOff only carry option values into Open.
+	traces    *obs.TraceStore
+	slo       *obs.SLOSet
+	traceCfg  obs.TraceStoreConfig
+	tracesOff bool
+
+	// logger receives structured slow-query, error and lifecycle lines; nil
+	// drops everything. Swappable at runtime via SetLogger.
+	logger atomic.Pointer[obs.Logger]
+
+	// runtime is the optional health sampler behind pc.runtime, installed by
+	// StartRuntimeSampler.
+	runtime atomic.Pointer[obs.RuntimeCollector]
 }
 
 // Option configures Open.
@@ -135,6 +152,29 @@ func WithMetrics(m *obs.Metrics) Option {
 	return func(db *DB) { db.EnableMetrics(m) }
 }
 
+// TraceRetentionConfig bounds the trace tail-sampler: total span budget,
+// per-shape head-sample quota, and the slow threshold at which traces are
+// always kept (defaulting to the slow-query threshold).
+type TraceRetentionConfig = obs.TraceStoreConfig
+
+// WithTraceRetention overrides the trace store's retention bounds (zero
+// fields keep their defaults).
+func WithTraceRetention(cfg TraceRetentionConfig) Option {
+	return func(db *DB) { db.traceCfg = cfg }
+}
+
+// WithoutTraces disables trace collection and retention: Query skips span
+// recording entirely and pc.traces / pc.trace_spans stay empty. pc.slo keeps
+// aggregating (histograms are allocation-free) but carries no exemplars.
+func WithoutTraces() Option {
+	return func(db *DB) { db.tracesOff = true }
+}
+
+// WithLogger installs a structured logger at Open (see SetLogger).
+func WithLogger(l *obs.Logger) Option {
+	return func(db *DB) { db.SetLogger(l) }
+}
+
 // Open creates an empty in-memory database.
 func Open(opts ...Option) *DB {
 	db := &DB{
@@ -151,6 +191,22 @@ func Open(opts ...Option) *DB {
 	// The system schema binds to whatever cache/recorder configuration the
 	// options settled on, so it is built last.
 	db.qlog = systab.NewQueryRecorder(db.qlogCap, db.slowQuery)
+	if !db.tracesOff {
+		if db.traceCfg.Slow <= 0 {
+			// The trace store's "always keep" criterion defaults to the query
+			// log's slow flag, so the two telemetry layers agree on slow.
+			db.traceCfg.Slow = db.slowQuery
+		}
+		db.traces = obs.NewTraceStore(db.traceCfg)
+	}
+	db.slo = obs.NewSLOSet()
+	if m := db.metricsReg.Load(); m != nil {
+		// WithMetrics ran before the observability layer existed; register
+		// its instruments now (the sampler gauges were registered already —
+		// they read through db.runtime and need no catch-up).
+		db.slo.RegisterMetrics(m)
+		db.traces.RegisterMetrics(m)
+	}
 	db.sysTables = systab.NewRegistry()
 	for _, vt := range []engine.VirtualTable{
 		systab.QueryLogTable(db.qlog),
@@ -158,6 +214,12 @@ func Open(opts ...Option) *DB {
 		systab.CacheStatsTable(db.cache),
 		systab.TableStorageTable(db.cat),
 		systab.MetricsTable(db.metricsReg.Load),
+		systab.TracesTable(db.traces),
+		systab.TraceSpansTable(db.traces),
+		systab.SLOTable(db.slo),
+		systab.RuntimeTable(db.runtime.Load, func() obs.RuntimeSample {
+			return obs.ReadRuntimeSample(engine.ScratchPoolStats)
+		}),
 	} {
 		if err := db.sysTables.Register(vt); err != nil {
 			// Names are compile-time constants; a clash is a programming error.
@@ -217,6 +279,7 @@ const dmlEpochRetries = 4
 // It returns the number of rows this statement deleted (rows a concurrent
 // statement deleted first are not counted twice).
 func (db *DB) DeleteWhere(table string, pred Pred) (int, error) {
+	defer db.observeDML(time.Now())
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
@@ -270,6 +333,7 @@ func (db *DB) tryDeleteWhere(tbl *storage.Table, table string, pred Pred) (int, 
 // than once if a concurrent Vacuum forces a re-match; it always receives a
 // freshly materialized batch. Returns the number of updated rows.
 func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, error) {
+	defer db.observeDML(time.Now())
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
@@ -428,12 +492,24 @@ func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, uint64, error) 
 // Vacuum reclaims deleted rows and re-sorts the table; this changes physical
 // row numbers and therefore invalidates the table's predicate-cache entries.
 func (db *DB) Vacuum(table string) error {
+	start := time.Now()
+	defer db.observeDML(start)
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("predcache: unknown table %s", table)
 	}
 	tbl.Vacuum(db.cat.Snapshot())
+	db.logger.Load().Info("vacuum",
+		"table", table, "wall_us", time.Since(start).Microseconds(),
+		"rows", tbl.NumRows())
 	return nil
+}
+
+// observeDML records one mutation statement's wall time under the dml SLO
+// class. DML statements are not traced (they have no plan tree), so the
+// observation carries no retained-trace exemplar.
+func (db *DB) observeDML(start time.Time) {
+	db.slo.Observe(obs.ClassDML, false, time.Since(start), -1, false)
 }
 
 // Query parses, plans and executes a SELECT statement. Statements prefixed
@@ -455,45 +531,64 @@ func (db *DB) Query(query string) (*Result, error) {
 		return engine.TextRelation("plan", strings.Split(strings.TrimRight(text, "\n"), "\n")), nil
 	}
 	meta := queryMeta{sql: query, start: time.Now()}
+	if db.traces != nil {
+		meta.tr = obs.NewTrace()
+	}
+	psp := meta.tr.Begin(obs.KindPhase, "parse")
 	stmt, err := sql.Parse(query)
+	psp.End()
 	meta.parse = time.Since(meta.start)
 	if err != nil {
 		db.recordFailed(meta, err)
 		return nil, err
 	}
 	planStart := time.Now()
+	lsp := meta.tr.Begin(obs.KindPhase, "plan")
 	node, err := sql.PlanWith(stmt, db.cat, db.sysTables)
+	lsp.End()
 	meta.plan = time.Since(planStart)
 	if err != nil {
 		db.recordFailed(meta, err)
 		return nil, err
 	}
-	return db.runInternal(node, db.execCtx(), meta)
+	ec := db.execCtx()
+	ec.Trace = meta.tr
+	return db.runInternal(node, ec, meta)
 }
 
-// queryMeta carries front-end context (query text, phase timings) into the
-// shared execution tail; the zero value describes a hand-built plan.
+// queryMeta carries front-end context (query text, phase timings, the trace
+// being recorded) into the shared execution tail; the zero value describes a
+// hand-built plan: no text, no trace, no retention.
 type queryMeta struct {
 	sql         string
 	start       time.Time
 	parse, plan time.Duration
+	// tr is the query's trace, nil when tracing is off or the plan was
+	// hand-built. keepSpans makes the retention handoff copy the spans
+	// instead of detaching them (ExplainAnalyze renders the trace afterwards).
+	tr        *obs.Trace
+	keepSpans bool
 }
 
 // recordFailed logs a query that never reached execution (parse or plan
-// error).
+// error) and retains its partial trace: the spans recorded up to the failure
+// point are finalized and offered to the store, which always admits errors.
 func (db *DB) recordFailed(meta queryMeta, err error) {
-	if db.qlog == nil {
-		return
-	}
+	wall := time.Since(meta.start)
 	rec := systab.QueryRecord{
 		StartMicros: meta.start.UnixMicro(),
 		SQL:         meta.sql,
 		Error:       err.Error(),
-		WallMicros:  time.Since(meta.start).Microseconds(),
+		WallMicros:  wall.Microseconds(),
 		ParseMicros: meta.parse.Microseconds(),
 		PlanMicros:  meta.plan.Microseconds(),
 	}
-	db.qlog.Record(rec)
+	seq := db.qlog.Record(rec)
+	if meta.tr != nil {
+		db.retainTrace(meta, seq, wall, "", "", false, err)
+	}
+	db.logger.Load().WithQuery(seq).Error("query failed",
+		"sql", meta.sql, "wall_us", wall.Microseconds(), "error", err.Error())
 }
 
 // execCtx builds the default execution context Run and Query share.
@@ -518,15 +613,19 @@ func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) 
 		meta.start = time.Now()
 	}
 	execStart := time.Now()
+	esp := meta.tr.Begin(obs.KindPhase, "execute")
 	rel, err := node.Execute(ec)
+	esp.End()
 	exec := time.Since(execStart)
 	snap := ec.Stats.Snapshot()
 	db.metrics.Load().record(exec, snap, err)
+	wall := time.Since(meta.start)
+	seq := int64(-1)
 	if db.qlog != nil {
 		rec := systab.QueryRecord{
 			StartMicros: meta.start.UnixMicro(),
 			SQL:         meta.sql,
-			WallMicros:  time.Since(meta.start).Microseconds(),
+			WallMicros:  wall.Microseconds(),
 			ParseMicros: meta.parse.Microseconds(),
 			PlanMicros:  meta.plan.Microseconds(),
 			ExecMicros:  exec.Microseconds(),
@@ -537,7 +636,15 @@ func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) 
 		} else {
 			rec.Rows = int64(rel.NumRows())
 		}
-		db.qlog.Record(rec)
+		seq = db.qlog.Record(rec)
+	}
+	if meta.sql != "" {
+		// SQL-originated queries feed the observability tail: classify, offer
+		// the trace for retention, observe the SLO histogram, log anomalies.
+		// Hand-built plans (Run/RunCtx) skip it — they have no query text to
+		// retain and the warm-scan allocation budget holds them to the bare
+		// execution path.
+		db.observe(node, meta, seq, wall, snap, err)
 	}
 	if err != nil {
 		return nil, err
@@ -551,6 +658,62 @@ func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) 
 	out.Stats = snap
 	out.Wall = time.Since(meta.start)
 	return &out, nil
+}
+
+// observe is the post-completion observability tail shared by every
+// SQL-originated execution: the query's class and cache outcome update the
+// SLO histograms, the finished trace is offered for retention (errored and
+// slow queries are always admitted), and anomalies emit one structured log
+// line stamped with the query/trace ID.
+func (db *DB) observe(node engine.Node, meta queryMeta, seq int64, wall time.Duration, snap storage.ScanStatsSnapshot, execErr error) {
+	class := engine.Classify(node)
+	hit := snap.CacheHits > 0
+	retained := false
+	if meta.tr != nil {
+		retained = db.retainTrace(meta, seq, wall, class, engine.Shape(node), hit, execErr)
+	}
+	db.slo.Observe(class, hit, wall, seq, retained)
+	switch {
+	case execErr != nil:
+		db.logger.Load().WithQuery(seq).Error("query failed",
+			"sql", meta.sql, "class", class, "wall_us", wall.Microseconds(),
+			"error", execErr.Error())
+	case db.slowQuery > 0 && wall >= db.slowQuery:
+		db.logger.Load().WithQuery(seq).Warn("slow query",
+			"sql", meta.sql, "class", class, "wall_us", wall.Microseconds(),
+			"rows_scanned", snap.RowsScanned, "cache_hits", snap.CacheHits,
+			"trace_retained", retained)
+	}
+}
+
+// retainTrace finalizes the query's trace — ending any spans an error path
+// left open and stamping the failure message — and offers it to the store,
+// reporting whether it was kept. The spans move by pointer (Trace.TakeSpans,
+// the O(1) handoff) unless meta.keepSpans asks for a copy because the caller
+// still renders the live trace afterwards.
+func (db *DB) retainTrace(meta queryMeta, seq int64, wall time.Duration, class, shape string, hit bool, execErr error) bool {
+	errMsg := ""
+	if execErr != nil {
+		errMsg = execErr.Error()
+	}
+	meta.tr.FinishOpen(errMsg)
+	var spans []obs.Span
+	if meta.keepSpans {
+		spans = meta.tr.Spans()
+	} else {
+		spans = meta.tr.TakeSpans()
+	}
+	return db.traces.Offer(&obs.RetainedTrace{
+		TraceID:     seq,
+		StartMicros: meta.start.UnixMicro(),
+		Wall:        wall,
+		SQL:         meta.sql,
+		Error:       errMsg,
+		Class:       class,
+		Shape:       shape,
+		CacheHit:    hit,
+		Spans:       spans,
+	})
 }
 
 // Run executes a prepared plan.
@@ -586,7 +749,9 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 // scans that produced them. A totals line mirrors LastQueryStats.
 func (db *DB) ExplainAnalyze(query string) (string, error) {
 	tr := obs.NewTrace()
-	meta := queryMeta{sql: query, start: time.Now()}
+	// keepSpans: the retention handoff copies the spans instead of detaching
+	// them, because the live trace is rendered below after runInternal.
+	meta := queryMeta{sql: query, start: time.Now(), tr: tr, keepSpans: true}
 	psp := tr.Begin(obs.KindPhase, "parse")
 	stmt, err := sql.Parse(query)
 	psp.End()
@@ -606,9 +771,7 @@ func (db *DB) ExplainAnalyze(query string) (string, error) {
 	}
 	ec := db.execCtx()
 	ec.Trace = tr
-	esp := tr.Begin(obs.KindPhase, "execute")
 	rel, err := db.runInternal(node, ec, meta)
-	esp.End()
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# trace_smoke.sh: end-to-end check of trace retention, SLO histograms and
+# structured logging through pcsh. Boots the shell with a 1ns slow-query
+# threshold (every query's trace is retained as slow) and a JSON log file,
+# runs a short workload including a failing query, then asserts via SQL that
+# pc.traces / pc.trace_spans / pc.slo / pc.runtime answer, that the failed
+# query was retained with its error, and that the log lines carry trace ids.
+set -eu
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/pcsh" ./cmd/pcsh
+
+LOG="$BIN/pcsh.log"
+
+OUT="$("$BIN/pcsh" -dataset ssb -sf 0.005 -slow 1ns -log "$LOG" <<'EOF'
+select count(*) from lineorder;
+select count(*) from lineorder where lo_quantity < 10;
+select count(*) from nosuch_table;
+select count(*) as slowtraces from pc.traces where reason = 'slow';
+select count(*) as errtraces from pc.traces where reason = 'error';
+select count(*) as joinspans from pc.trace_spans s, pc.query_log q where s.trace_id = q.seq and q.error <> '';
+select count(*) as slorows from pc.slo where sample_count > 0;
+select count(*) as runtimerows from pc.runtime;
+\q
+EOF
+)"
+
+# Each probe prints a one-word header line followed by the value line.
+val_after() {
+    printf '%s\n' "$OUT" | awk -v key="$1" 'f{print $NF; exit} $0 ~ key{f=1}'
+}
+
+SLOW="$(val_after slowtraces)"
+if [ "$SLOW" -lt 2 ]; then
+    echo "trace smoke: only '$SLOW' slow traces retained, want >= 2" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+ERRS="$(val_after errtraces)"
+if [ "$ERRS" != "1" ]; then
+    echo "trace smoke: '$ERRS' error traces retained, want exactly 1" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+JOINSPANS="$(val_after joinspans)"
+if [ "$JOINSPANS" -lt 1 ]; then
+    echo "trace smoke: failed query has no spans via pc.trace_spans x pc.query_log" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+SLOROWS="$(val_after slorows)"
+if [ "$SLOROWS" -lt 1 ]; then
+    echo "trace smoke: pc.slo has no populated class" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+RUNTIMEROWS="$(val_after runtimerows)"
+if [ "$RUNTIMEROWS" -lt 1 ]; then
+    echo "trace smoke: pc.runtime returned no sample" >&2
+    printf '%s\n' "$OUT" >&2
+    exit 1
+fi
+
+# The structured log must carry correlated slow-query and failure lines.
+if ! grep -q '"msg":"slow query"' "$LOG"; then
+    echo "trace smoke: no slow-query log line in $LOG" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if ! grep -q '"msg":"query failed"' "$LOG"; then
+    echo "trace smoke: no query-failed log line in $LOG" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+if ! grep -q '"trace_id":' "$LOG"; then
+    echo "trace smoke: log lines carry no trace_id" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+
+echo "trace smoke: OK ($SLOW slow traces, $ERRS error trace, $JOINSPANS error spans, $SLOROWS SLO rows)"
