@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke trace-smoke bench-smoke check clean
+.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke trace-smoke server-smoke bench-smoke check clean
 
 all: build
 
@@ -66,13 +66,19 @@ systab-smoke:
 trace-smoke:
 	./scripts/trace_smoke.sh
 
+# End-to-end network check: boots pcserver on an ephemeral TCP port, drives
+# the wire protocol with cmd/pcclient (queries, prepared statements, error
+# recovery, pc.sessions / pc.plan_cache visibility), and SIGTERM-drains.
+server-smoke:
+	./scripts/server_smoke.sh
+
 # One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
 # the benchmark harness without paying full measurement time.
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x .
 
 # Everything CI runs.
-check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke
+check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke server-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,94 @@
+// Command pcclient is a minimal line-protocol client for pcserver: it reads
+// statements from stdin (one per line), sends each to the server, and prints
+// the framed response — the "ok <nrows> <ncols>" header, TSV rows, and "."
+// terminator for result sets, or the single-line "ok"/"pong"/"err ..."
+// acknowledgements. Blank lines and lines starting with "--" are skipped, so
+// a SQL script with comments pipes straight through:
+//
+//	pcclient -addr 127.0.0.1:5433 < workload.sql
+//
+// Exit status is 0 when every statement got a response and the connection
+// closed cleanly; transport errors and response timeouts exit 1. Statement
+// errors ("err ..." responses) do NOT fail the client — they are part of the
+// protocol and are printed for the caller to inspect.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "pcserver address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-response read deadline")
+	flag.Parse()
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 64*1024), 1<<20)
+	r := bufio.NewReader(conn)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		if err := conn.SetDeadline(time.Now().Add(*timeout)); err != nil {
+			fatal(err)
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			fatal(err)
+		}
+		resp, err := readLine(r)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", line, err))
+		}
+		fmt.Fprintln(out, resp)
+		if resp == "bye" {
+			return
+		}
+		// A result set follows its "ok <nrows> <ncols>" header; relay it
+		// through the terminating "." line. Bare "ok" acks have no body.
+		var nrows, ncols int
+		if n, _ := fmt.Sscanf(resp, "ok %d %d", &nrows, &ncols); n == 2 {
+			for {
+				row, err := readLine(r)
+				if err != nil {
+					fatal(fmt.Errorf("%s: result body: %w", line, err))
+				}
+				fmt.Fprintln(out, row)
+				if row == "." {
+					break
+				}
+			}
+		}
+	}
+	if err := in.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	s, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pcclient: %v\n", err)
+	os.Exit(1)
+}

@@ -24,6 +24,9 @@ type aggState struct {
 func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, a)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	in, err := a.Input.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -158,6 +161,11 @@ func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	}
 
 	for row := 0; row < in.NumRows(); row++ {
+		if row&(cancelCheckRows-1) == 0 {
+			if err := ec.Cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		g := groupOf(row)
 		for i, ba := range baggs {
 			st := &g.states[i]

@@ -108,5 +108,9 @@ func walkNodes(n Node, visit func(Node)) {
 		walkNodes(t.Input, visit)
 	case *Limit:
 		walkNodes(t.Input, visit)
+	case *Union:
+		for _, in := range t.Inputs {
+			walkNodes(in, visit)
+		}
 	}
 }

@@ -63,6 +63,9 @@ func (e *joinKeyEncoder) encode(dst []byte, row int) []byte {
 func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, j)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	buildRel, err := j.Right.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -81,6 +84,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	if buildEnc.single() {
 		intTable = make(map[int64][]int32, buildRel.NumRows())
 		for row := 0; row < buildRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			k := buildEnc.intKey(row)
 			intTable[k] = append(intTable[k], int32(row))
 		}
@@ -88,6 +96,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		bytesTable = make(map[string][]int32, buildRel.NumRows())
 		var scratch []byte
 		for row := 0; row < buildRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			scratch = buildEnc.encode(scratch[:0], row)
 			bytesTable[string(scratch)] = append(bytesTable[string(scratch)], int32(row))
 		}
@@ -164,6 +177,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	switch j.Type {
 	case InnerJoin:
 		for row := 0; row < probeRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			var matches []int32
 			matches, scratch = lookup(row, scratch)
 			for _, m := range matches {
@@ -173,6 +191,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 	case LeftOuterJoin:
 		for row := 0; row < probeRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			var matches []int32
 			matches, scratch = lookup(row, scratch)
 			if len(matches) == 0 {
@@ -187,6 +210,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 	case SemiJoin:
 		for row := 0; row < probeRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			var matches []int32
 			matches, scratch = lookup(row, scratch)
 			if len(matches) > 0 {
@@ -195,6 +223,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 	case AntiJoin:
 		for row := 0; row < probeRel.NumRows(); row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
 			var matches []int32
 			matches, scratch = lookup(row, scratch)
 			if len(matches) == 0 {

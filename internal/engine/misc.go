@@ -13,6 +13,9 @@ import (
 func (p *Project) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, p)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	in, err := p.Input.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -62,6 +65,9 @@ func (p *Project) Execute(ec *ExecCtx) (rel *Relation, err error) {
 func (f *Filter) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, f)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	in, err := f.Input.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -84,6 +90,9 @@ func (f *Filter) Execute(ec *ExecCtx) (rel *Relation, err error) {
 func (s *Sort) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, s)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	in, err := s.Input.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -151,6 +160,9 @@ func (s *Sort) Execute(ec *ExecCtx) (rel *Relation, err error) {
 func (l *Limit) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, l)
 	defer func() { endNodeSpan(sp, rel, err) }()
+	if err = ec.Cancelled(); err != nil {
+		return nil, err
+	}
 	in, err := l.Input.Execute(ec)
 	if err != nil {
 		return nil, err
@@ -184,6 +196,9 @@ func (u *Union) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	}
 	rels := make([]*Relation, len(u.Inputs))
 	for i, in := range u.Inputs {
+		if err := ec.Cancelled(); err != nil {
+			return nil, err
+		}
 		r, err := in.Execute(ec)
 		if err != nil {
 			return nil, err

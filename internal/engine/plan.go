@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/predcache/predcache/internal/core"
@@ -17,6 +18,11 @@ type ExecCtx struct {
 	Cache    *core.Cache
 	Snapshot uint64
 	Stats    *storage.ScanStats
+	// Ctx, when non-nil, cancels the execution: operators check it at their
+	// prologues and inside row/block loops so a disconnected or cancelled
+	// client's query stops consuming CPU promptly instead of running to
+	// completion. A nil Ctx never cancels.
+	Ctx context.Context
 	// Trace records query-lifecycle spans (per-node execute, per-slice scan,
 	// cache events) when non-nil; the disabled path costs one nil check per
 	// instrumentation point.
@@ -41,6 +47,27 @@ type ExecCtx struct {
 	// testing).
 	DisableEncodedKernels bool
 }
+
+// Cancelled returns a non-nil error once the execution's context has been
+// cancelled, and nil otherwise (including when no context was attached).
+// Operators call it at prologues and every few thousand rows/blocks inside
+// hot loops; the no-context fast path is a single nil comparison.
+func (ec *ExecCtx) Cancelled() error {
+	if ec.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ec.Ctx.Done(): // pclint:allow noalloc: Done returns the context's existing channel
+		return ec.Ctx.Err() // pclint:allow noalloc: cold cancellation path; context errors are preallocated sentinels
+	default:
+		return nil
+	}
+}
+
+// cancelCheckRows is how many rows a hot loop processes between cancellation
+// checks — frequent enough to stop within microseconds, rare enough that the
+// check cost is unmeasurable.
+const cancelCheckRows = 4096
 
 // Node is a query plan operator producing a materialized relation.
 type Node interface {

@@ -587,6 +587,13 @@ func (s *Scan) scanSlice(ec *ExecCtx, tbl *storage.Table, slice *storage.Slice, 
 	ci := 0 // candidate cursor
 	numBlocks := (numRows + storage.BlockSize - 1) / storage.BlockSize
 	for blk := 0; blk < numBlocks; blk++ {
+		// Per-block cancellation check: Execute surfaces res.err before any
+		// cache insert/extend, so an aborted slice never pollutes the cache
+		// with partial ranges.
+		if cerr := ec.Cancelled(); cerr != nil {
+			res.err = cerr
+			return
+		}
 		base := blk * storage.BlockSize
 		blkEnd := base + storage.BlockSize
 		if blkEnd > numRows {

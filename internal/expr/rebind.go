@@ -1,0 +1,129 @@
+package expr
+
+// Rebinding support for the normalized-SQL plan cache: a cached plan is a
+// template whose literal Values carry 1-based Slot tags (see Value.Slot).
+// RebindPred/RebindScalar deep-copy an expression tree, passing every Value
+// through a caller-supplied bind function — the plan cache uses it to
+// substitute the current query's literals into the template, and the engine's
+// plan cloner uses it with the identity function to copy plans defensively.
+//
+// Both return ok=false when the tree contains a node type the walker does not
+// know; callers must then fall back to planning from scratch rather than
+// executing a partially-copied plan.
+
+// RebindPred returns a deep copy of p with every literal passed through bind.
+func RebindPred(p Pred, bind func(Value) Value) (Pred, bool) {
+	switch t := p.(type) {
+	case nil:
+		return nil, true
+	case *CmpPred:
+		return &CmpPred{Col: t.Col, Op: t.Op, Val: bind(t.Val)}, true
+	case *CmpColsPred:
+		cp := *t
+		return &cp, true
+	case *BetweenPred:
+		return &BetweenPred{Col: t.Col, Lo: bind(t.Lo), Hi: bind(t.Hi)}, true
+	case *InPred:
+		vals := make([]Value, len(t.Vals))
+		for i, v := range t.Vals {
+			vals[i] = bind(v)
+		}
+		return &InPred{Col: t.Col, Vals: vals}, true
+	case *LikePred:
+		cp := *t
+		return &cp, true
+	case *AndPred:
+		children, ok := rebindChildren(t.Children, bind)
+		if !ok {
+			return nil, false
+		}
+		return &AndPred{Children: children}, true
+	case *OrPred:
+		children, ok := rebindChildren(t.Children, bind)
+		if !ok {
+			return nil, false
+		}
+		return &OrPred{Children: children}, true
+	case *NotPred:
+		child, ok := RebindPred(t.Child, bind)
+		if !ok {
+			return nil, false
+		}
+		return &NotPred{Child: child}, true
+	case TruePred:
+		return TruePred{}, true
+	case *TruePred:
+		return TruePred{}, true
+	}
+	return nil, false
+}
+
+func rebindChildren(children []Pred, bind func(Value) Value) ([]Pred, bool) {
+	out := make([]Pred, len(children))
+	for i, c := range children {
+		cp, ok := RebindPred(c, bind)
+		if !ok {
+			return nil, false
+		}
+		out[i] = cp
+	}
+	return out, true
+}
+
+// RebindScalar returns a deep copy of s with every literal passed through
+// bind.
+func RebindScalar(s Scalar, bind func(Value) Value) (Scalar, bool) {
+	switch t := s.(type) {
+	case nil:
+		return nil, true
+	case *ColRef:
+		cp := *t
+		return &cp, true
+	case *ConstScalar:
+		return &ConstScalar{Val: bind(t.Val)}, true
+	case *ArithScalar:
+		l, ok := RebindScalar(t.L, bind)
+		if !ok {
+			return nil, false
+		}
+		r, ok := RebindScalar(t.R, bind)
+		if !ok {
+			return nil, false
+		}
+		return &ArithScalar{Op: t.Op, L: l, R: r}, true
+	case *YearScalar:
+		arg, ok := RebindScalar(t.Arg, bind)
+		if !ok {
+			return nil, false
+		}
+		return &YearScalar{Arg: arg}, true
+	case *CaseScalar:
+		cond, ok := RebindPred(t.Cond, bind)
+		if !ok {
+			return nil, false
+		}
+		then, ok := RebindScalar(t.Then, bind)
+		if !ok {
+			return nil, false
+		}
+		els, ok := RebindScalar(t.Else, bind)
+		if !ok {
+			return nil, false
+		}
+		return &CaseScalar{Cond: cond, Then: then, Else: els}, true
+	}
+	return nil, false
+}
+
+// WalkPredValues visits every literal in p. The bool result reports whether
+// every node type was recognized (mirroring RebindPred).
+func WalkPredValues(p Pred, visit func(Value)) bool {
+	_, ok := RebindPred(p, func(v Value) Value { visit(v); return v })
+	return ok
+}
+
+// WalkScalarValues visits every literal in s.
+func WalkScalarValues(s Scalar, visit func(Value)) bool {
+	_, ok := RebindScalar(s, func(v Value) Value { visit(v); return v })
+	return ok
+}

@@ -28,11 +28,19 @@ const (
 )
 
 // Value is a literal constant inside an expression.
+//
+// Slot is the 1-based bind-slot tag assigned by the SQL normalizer when the
+// literal came from a bindable position in the query text (0 = not a bind
+// slot). The plan cache uses it to substitute the literals of a later,
+// same-template query into a cached plan. Slot deliberately does not
+// participate in key(): two plans differing only in slot tags are the same
+// predicate as far as the predicate cache is concerned.
 type Value struct {
 	Kind Kind
 	I    int64
 	F    float64
 	S    string
+	Slot int
 }
 
 // Int returns an integer literal.

@@ -1,0 +1,144 @@
+package sql
+
+import (
+	"strings"
+
+	"github.com/predcache/predcache/internal/expr"
+)
+
+// NormalizedQuery is the outcome of stripping a query's bindable literals
+// into slots: Key is the normalized template ("... where x = ?"), Args holds
+// the literal values in slot order (slot i ↔ Args[i-1]), and slots maps the
+// byte position of each stripped literal token back to its 1-based slot so
+// the parser can tag the expr.Values it builds from them (ParseNormalized).
+//
+// Two queries that differ only in bindable literals share the same Key —
+// the plan-cache lookup unit exploiting the paper's §2 finding that fleet
+// queries are overwhelmingly near-verbatim repeats.
+type NormalizedQuery struct {
+	Key   string
+	Args  []expr.Value
+	slots map[int]int
+}
+
+// Slots exposes the literal-position → slot mapping (for ParseNormalized).
+func (nq *NormalizedQuery) Slots() map[int]int {
+	if nq == nil {
+		return nil
+	}
+	return nq.slots
+}
+
+// Normalize lexes a SELECT statement and strips bindable literals into
+// slots. ok is false when the input does not lex or is not a SELECT; such
+// statements are not plan-cacheable.
+//
+// A literal (number or string) is bindable only in positions where the
+// parser's plan shape provably does not depend on its value:
+//
+//   - the right-hand side of a comparison operator (x = 5, having sum(q) > 3)
+//   - BETWEEN bounds (x between 5 and 10)
+//   - IN-list elements (x in (1, 2, 3))
+//
+// Everything else stays verbatim in the template: date/interval literals
+// (folded at parse time), LIKE patterns (compiled into the predicate),
+// LIMIT counts and ORDER BY positions (plan structure), literal-first
+// comparisons, negated literals (the '-' sign is part of the value), and
+// scalar-context constants (select lists, arithmetic). Queries whose
+// literals all sit in non-bindable spots still normalize — with zero slots —
+// so exact repeats of them hit the cache too.
+func Normalize(input string) (*NormalizedQuery, bool) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, false
+	}
+	if len(toks) == 0 || toks[0].kind != tokIdent || toks[0].text != "select" {
+		return nil, false
+	}
+
+	nq := &NormalizedQuery{slots: make(map[int]int)}
+	var sb strings.Builder
+	sb.Grow(len(input))
+
+	// Paren stack: each open paren records whether it opened an IN list, so
+	// commas inside it mark further bindable elements (and commas anywhere
+	// else — select lists, GROUP BY, ORDER BY — do not).
+	var inList []bool
+
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		switch {
+		case t.kind == tokSymbol && t.text == "(":
+			opensIn := i > 0 && toks[i-1].kind == tokIdent && toks[i-1].text == "in"
+			inList = append(inList, opensIn)
+		case t.kind == tokSymbol && t.text == ")":
+			if len(inList) > 0 {
+				inList = inList[:len(inList)-1]
+			}
+		}
+
+		if (t.kind == tokNumber || t.kind == tokString) && bindable(toks, i, inList) {
+			slot := len(nq.Args) + 1
+			nq.slots[t.pos] = slot
+			if t.kind == tokNumber {
+				nq.Args = append(nq.Args, numberValue(t.text))
+			} else {
+				nq.Args = append(nq.Args, expr.Str(t.text))
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteByte('?')
+			continue
+		}
+
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	nq.Key = sb.String()
+	return nq, true
+}
+
+// bindable reports whether the literal at toks[i] sits in a bind-slot
+// position (see Normalize's doc comment for the rules).
+func bindable(toks []token, i int, inList []bool) bool {
+	if i == 0 {
+		return false
+	}
+	prev := toks[i-1]
+	switch prev.kind {
+	case tokSymbol:
+		switch prev.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			return true
+		case "(":
+			// First element of an IN list (the paren was just pushed).
+			return len(inList) > 0 && inList[len(inList)-1]
+		case ",":
+			// Subsequent IN-list elements only.
+			return len(inList) > 0 && inList[len(inList)-1]
+		}
+	case tokIdent:
+		switch prev.text {
+		case "between":
+			return true
+		case "and":
+			// The upper BETWEEN bound: "col between lo and hi" puts
+			// "between" exactly three tokens back when lo is a single
+			// literal. Date-typed bounds span more tokens and stay verbatim.
+			return i >= 3 && toks[i-3].kind == tokIdent && toks[i-3].text == "between"
+		}
+	}
+	return false
+}

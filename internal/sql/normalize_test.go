@@ -1,0 +1,120 @@
+package sql
+
+import (
+	"testing"
+
+	"github.com/predcache/predcache/internal/expr"
+)
+
+func mustNormalize(t *testing.T, q string) *NormalizedQuery {
+	t.Helper()
+	nq, ok := Normalize(q)
+	if !ok {
+		t.Fatalf("Normalize(%q) not ok", q)
+	}
+	return nq
+}
+
+func TestNormalizeStripsComparisonLiterals(t *testing.T) {
+	a := mustNormalize(t, "select count(*) from t where id > 42 and grp = 'a'")
+	b := mustNormalize(t, "select count(*) from t where id > 99 and grp = 'b'")
+	if a.Key != b.Key {
+		t.Fatalf("keys differ:\n%s\n%s", a.Key, b.Key)
+	}
+	if len(a.Args) != 2 || len(b.Args) != 2 {
+		t.Fatalf("args: %v / %v", a.Args, b.Args)
+	}
+	if a.Args[0].I != 42 || b.Args[0].I != 99 {
+		t.Fatalf("first arg: %v / %v", a.Args[0], b.Args[0])
+	}
+	if a.Args[1].S != "a" || b.Args[1].S != "b" {
+		t.Fatalf("second arg: %v / %v", a.Args[1], b.Args[1])
+	}
+}
+
+func TestNormalizeBetweenAndInList(t *testing.T) {
+	a := mustNormalize(t, "select sum(val) from t where id between 10 and 20 and grp in ('a', 'b', 'c')")
+	b := mustNormalize(t, "select sum(val) from t where id between 30 and 77 and grp in ('x', 'y', 'z')")
+	if a.Key != b.Key {
+		t.Fatalf("keys differ:\n%s\n%s", a.Key, b.Key)
+	}
+	if len(a.Args) != 5 {
+		t.Fatalf("want 5 args, got %v", a.Args)
+	}
+}
+
+// Literals whose value shapes the plan must stay verbatim in the template.
+func TestNormalizeKeepsStructuralLiterals(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+	}{
+		{"select id from t order by id limit 5", "select id from t order by id limit 50"},
+		{"select id from t where grp like 'a%'", "select id from t where grp like 'b%'"},
+		{"select id from t where id > -5", "select id from t where id > -6"},
+		{"select id + 1 from t", "select id + 2 from t"},
+		{"select id from t where 5 < id", "select id from t where 6 < id"},
+	} {
+		na := mustNormalize(t, tc.a)
+		nb := mustNormalize(t, tc.b)
+		if na.Key == nb.Key {
+			t.Errorf("structurally distinct queries share a key:\n%s\n%s", tc.a, tc.b)
+		}
+	}
+}
+
+func TestNormalizeRejectsNonSelect(t *testing.T) {
+	if _, ok := Normalize("explain select 1 from t"); ok {
+		t.Error("EXPLAIN should not normalize")
+	}
+	if _, ok := Normalize("where broken ((("); ok {
+		t.Error("non-SELECT should not normalize")
+	}
+}
+
+// ParseNormalized must tag exactly the stripped literals with their slots,
+// and Parse (no slot map) must leave every Value untagged.
+func TestParseNormalizedTagsSlots(t *testing.T) {
+	q := "select count(*) from t where id > 42 and grp in ('a', 'b')"
+	nq := mustNormalize(t, q)
+	if len(nq.Args) != 3 {
+		t.Fatalf("args: %v", nq.Args)
+	}
+	stmt, err := ParseNormalized(q, nq.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slots []int
+	if !expr.WalkPredValues(stmt.Where, func(v expr.Value) {
+		if v.Slot != 0 {
+			slots = append(slots, v.Slot)
+		}
+	}) {
+		t.Fatal("walk failed")
+	}
+	if len(slots) != 3 {
+		t.Fatalf("tagged slots: %v", slots)
+	}
+	plain, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr.WalkPredValues(plain.Where, func(v expr.Value) {
+		if v.Slot != 0 {
+			t.Errorf("Parse tagged a slot: %+v", v)
+		}
+	})
+}
+
+func TestPlanCacheStatsNilSafe(t *testing.T) {
+	var pc *PlanCache
+	if s := pc.Stats(); s.Entries != 0 {
+		t.Fatal("nil cache stats")
+	}
+	if e := pc.Entries(); e != nil {
+		t.Fatal("nil cache entries")
+	}
+	if _, ok := pc.Get(nil, nil, 0); ok {
+		t.Fatal("nil cache hit")
+	}
+	pc.Put(nil, nil, nil, 0) // must not panic
+}

@@ -17,15 +17,28 @@ type parser struct {
 	aggs []*AggCall
 	// inAggArg guards against nested aggregates.
 	inAggArg bool
+	// slots maps literal-token byte positions to 1-based bind slots (from
+	// Normalize); parseValue tags the Values it builds at those positions so
+	// the resulting plan can serve as a plan-cache template. nil outside
+	// ParseNormalized.
+	slots map[int]int
 }
 
 // Parse parses one SELECT statement.
 func Parse(input string) (*SelectStmt, error) {
+	return ParseNormalized(input, nil)
+}
+
+// ParseNormalized parses one SELECT statement, tagging the literal Values
+// whose token positions appear in slots with their bind-slot numbers. The
+// plan cache parses templates through this so Normalize's slot assignment
+// survives into the plan tree (planner rewrites copy Values by value).
+func ParseNormalized(input string, slots map[int]int) (*SelectStmt, error) {
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, slots: slots}
 	stmt, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -504,16 +517,21 @@ func addMonths(days, months int64) int64 {
 	return storage.DateFromYMD(ny, nm, d)
 }
 
-// parseValue parses a literal: number, string, or date expression.
+// parseValue parses a literal: number, string, or date expression. Literals
+// at slot-tagged positions (ParseNormalized) carry their bind-slot number.
 func (p *parser) parseValue() (expr.Value, error) {
 	t := p.peek()
 	switch {
 	case t.kind == tokNumber:
 		p.next()
-		return numberValue(t.text), nil
+		v := numberValue(t.text)
+		v.Slot = p.slots[t.pos]
+		return v, nil
 	case t.kind == tokString:
 		p.next()
-		return expr.Str(t.text), nil
+		v := expr.Str(t.text)
+		v.Slot = p.slots[t.pos]
+		return v, nil
 	case t.kind == tokIdent && t.text == "date":
 		return p.parseDateValue()
 	case t.kind == tokSymbol && t.text == "-":
@@ -527,6 +545,10 @@ func (p *parser) parseValue() (expr.Value, error) {
 		} else {
 			v.I = -v.I
 		}
+		// A negated literal is not the literal the normalizer saw: the value
+		// differs by sign, so substituting a later query's literal verbatim
+		// would be wrong. Normalize never tags these; drop the tag in case.
+		v.Slot = 0
 		return v, nil
 	}
 	return expr.Value{}, fmt.Errorf("sql: expected literal, got %q", t.text)

@@ -1,0 +1,100 @@
+package systab
+
+import (
+	"strings"
+
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/sql"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+var planCacheSchema = storage.Schema{
+	{Name: "query_template", Type: storage.String},
+	{Name: "slots", Type: storage.Int64},
+	{Name: "tables", Type: storage.String},
+	{Name: "hits", Type: storage.Int64},
+	{Name: "created_micros", Type: storage.Int64},
+	{Name: "last_hit_micros", Type: storage.Int64},
+}
+
+// planCacheTable exposes the normalized-SQL plan cache as pc.plan_cache, in
+// LRU order (most recently used first).
+type planCacheTable struct {
+	cache *sql.PlanCache
+}
+
+// PlanCacheTable builds the pc.plan_cache provider (cache may be nil when
+// the DB runs without a plan cache; the table is then empty).
+func PlanCacheTable(cache *sql.PlanCache) engine.VirtualTable {
+	return &planCacheTable{cache: cache}
+}
+
+func (t *planCacheTable) Name() string           { return "pc.plan_cache" }
+func (t *planCacheTable) Schema() storage.Schema { return planCacheSchema }
+func (t *planCacheTable) NumRows() int           { return t.cache.Stats().Entries }
+
+func (t *planCacheTable) Snapshot() (*engine.Relation, error) {
+	b := newBuilder(planCacheSchema)
+	for _, e := range t.cache.Entries() {
+		b.row(e.Key, int64(e.Slots), strings.Join(e.Tables, ","),
+			e.Hits, micros(e.CreatedAt), micros(e.LastHitAt))
+	}
+	return b.relation()
+}
+
+// SessionInfo is one client session's state as reported by the network
+// server (internal/server supplies the source function — systab cannot
+// import it without a cycle through the root package).
+type SessionInfo struct {
+	ID          int64
+	RemoteAddr  string
+	State       string // "idle" | "active" | "closing"
+	StartMicros int64
+	LastMicros  int64 // when the session last started or finished a statement
+	Queries     int64
+	Prepared    int64 // prepared statements currently held
+	CurrentSQL  string
+}
+
+var sessionsSchema = storage.Schema{
+	{Name: "session_id", Type: storage.Int64},
+	{Name: "remote_addr", Type: storage.String},
+	{Name: "state", Type: storage.String},
+	{Name: "start_micros", Type: storage.Int64},
+	{Name: "last_micros", Type: storage.Int64},
+	{Name: "queries", Type: storage.Int64},
+	{Name: "prepared", Type: storage.Int64},
+	{Name: "current_query", Type: storage.String},
+}
+
+// sessionsTable exposes the server's live sessions as pc.sessions.
+type sessionsTable struct {
+	source func() []SessionInfo
+}
+
+// SessionsTable builds the pc.sessions provider. source is called at
+// snapshot time; nil snapshots empty (no server running).
+func SessionsTable(source func() []SessionInfo) engine.VirtualTable {
+	return &sessionsTable{source: source}
+}
+
+func (t *sessionsTable) Name() string           { return "pc.sessions" }
+func (t *sessionsTable) Schema() storage.Schema { return sessionsSchema }
+
+func (t *sessionsTable) NumRows() int {
+	if t.source == nil {
+		return 0
+	}
+	return len(t.source())
+}
+
+func (t *sessionsTable) Snapshot() (*engine.Relation, error) {
+	b := newBuilder(sessionsSchema)
+	if t.source != nil {
+		for _, s := range t.source() {
+			b.row(s.ID, s.RemoteAddr, s.State, s.StartMicros, s.LastMicros,
+				s.Queries, s.Prepared, s.CurrentSQL)
+		}
+	}
+	return b.relation()
+}

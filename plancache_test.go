@@ -1,0 +1,298 @@
+package predcache_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	predcache "github.com/predcache/predcache"
+)
+
+func TestPlanCacheHitOnRepeat(t *testing.T) {
+	db := openWithData(t, 3000)
+	q := "select count(*) as n from t where id < 500"
+	for i := 0; i < 3; i++ {
+		res := one(t, db, q)
+		if got := intCell(t, res, 0, "n"); got != 500 {
+			t.Fatalf("run %d: count = %d", i, got)
+		}
+	}
+	st := db.PlanCacheStats()
+	if st.Hits < 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	entries := db.PlanCacheEntries()
+	if len(entries) != 1 || entries[0].Hits < 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if !strings.Contains(entries[0].Key, "?") {
+		t.Fatalf("template not normalized: %q", entries[0].Key)
+	}
+}
+
+// The defining property of normalized caching: a repeat with different
+// literals reuses the template AND computes the right answer for the new
+// literals.
+func TestPlanCacheNormalizedHitCorrectResults(t *testing.T) {
+	db := openWithData(t, 3000)
+	for _, want := range []int64{500, 100, 2999, 1} {
+		q := fmt.Sprintf("select count(*) as n from t where id < %d", want)
+		res := one(t, db, q)
+		if got := intCell(t, res, 0, "n"); got != want {
+			t.Fatalf("id < %d: count = %d", want, got)
+		}
+	}
+	st := db.PlanCacheStats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3 hits / 1 miss", st)
+	}
+
+	// String and IN-list literals rebind too.
+	a := intCell(t, one(t, db, "select count(*) as n from t where grp = 'a'"), 0, "n")
+	b := intCell(t, one(t, db, "select count(*) as n from t where grp = 'b'"), 0, "n")
+	if a != 1000 || b != 1000 {
+		t.Fatalf("grp counts: a=%d b=%d", a, b)
+	}
+	ab := intCell(t, one(t, db, "select count(*) as n from t where grp in ('a', 'b')"), 0, "n")
+	bc := intCell(t, one(t, db, "select count(*) as n from t where grp in ('b', 'c')"), 0, "n")
+	if ab != 2000 || bc != 2000 {
+		t.Fatalf("in-list counts: ab=%d bc=%d", ab, bc)
+	}
+}
+
+func TestPlanCacheInvalidation(t *testing.T) {
+	db := openWithData(t, 3000)
+	q := "select count(*) as n from t where id < 500"
+	one(t, db, q)
+	one(t, db, q)
+	base := db.PlanCacheStats()
+	if base.Hits != 1 {
+		t.Fatalf("warmup stats = %+v", base)
+	}
+
+	// DML on the referenced table drops the entry (table statistics feed the
+	// planner, and the cached plan must never serve stale row counts).
+	schema := predcache.Schema{
+		{Name: "id", Type: predcache.Int64},
+		{Name: "grp", Type: predcache.String},
+		{Name: "val", Type: predcache.Float64},
+		{Name: "day", Type: predcache.Date},
+	}
+	batch := predcache.NewBatch(schema)
+	batch.Cols[0].Ints = []int64{100000}
+	batch.Cols[1].Strings = []string{"a"}
+	batch.Cols[2].Floats = []float64{1}
+	batch.Cols[3].Ints = []int64{20000}
+	batch.N = 1
+	if err := db.Insert("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	one(t, db, q)
+	st := db.PlanCacheStats()
+	if st.Invalidations != base.Invalidations+1 {
+		t.Fatalf("after insert: %+v", st)
+	}
+
+	// DDL anywhere drops entries wholesale (ddl generation).
+	if err := db.CreateTable("u", predcache.Schema{{Name: "x", Type: predcache.Int64}}); err != nil {
+		t.Fatal(err)
+	}
+	one(t, db, q)
+	st = db.PlanCacheStats()
+	if st.Invalidations != base.Invalidations+2 {
+		t.Fatalf("after create table: %+v", st)
+	}
+
+	// Vacuum changes the physical layout (row renumbering).
+	if _, err := db.DeleteWhere("t", mustPred(t, "id < 10")); err != nil {
+		t.Fatal(err)
+	}
+	one(t, db, q) // re-plans after the delete...
+	if err := db.Vacuum("t"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.PlanCacheStats().Invalidations
+	one(t, db, q)
+	if got := db.PlanCacheStats().Invalidations; got != before+1 {
+		t.Fatalf("after vacuum: invalidations %d, want %d", got, before+1)
+	}
+
+	// The re-planned entry serves hits again, with correct post-DML results.
+	res := one(t, db, q)
+	if got := intCell(t, res, 0, "n"); got != 490 {
+		t.Fatalf("post-vacuum count = %d, want 490", got)
+	}
+}
+
+// A plan-cache hit skips parsing and planning entirely: pc.query_log shows
+// plan_us = 0 for the hit (the plan phase never runs).
+func TestPlanCacheHitSkipsPlanningInQueryLog(t *testing.T) {
+	db := openWithData(t, 3000)
+	q := "select count(*) as n from t where id < 500"
+	one(t, db, q)
+	one(t, db, q)
+	recs := db.QueryLog()
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	hit := recs[1]
+	if hit.SQL != q || hit.Error != "" {
+		t.Fatalf("unexpected record %+v", hit)
+	}
+	if hit.PlanMicros != 0 {
+		t.Fatalf("cache hit ran the planner: plan_us = %d", hit.PlanMicros)
+	}
+	if db.PlanCacheStats().Hits != 1 {
+		t.Fatalf("stats = %+v", db.PlanCacheStats())
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	db := predcache.Open(predcache.WithoutPlanCache())
+	if err := db.CreateTable("t", predcache.Schema{{Name: "x", Type: predcache.Int64}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("select count(*) as n from t where x = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("select count(*) as n from t where x = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.PlanCacheStats(); st != (predcache.PlanCacheStats{}) {
+		t.Fatalf("disabled cache has stats %+v", st)
+	}
+	if db.PlanCacheEntries() != nil {
+		t.Fatal("disabled cache has entries")
+	}
+	// pc.plan_cache stays queryable, just empty.
+	res := one(t, db, "select count(*) as n from pc.plan_cache")
+	if got := intCell(t, res, 0, "n"); got != 0 {
+		t.Fatalf("pc.plan_cache rows = %d", got)
+	}
+}
+
+func TestPlanCacheSystemTable(t *testing.T) {
+	db := openWithData(t, 1000)
+	q := "select count(*) as n from t where id < 100"
+	one(t, db, q)
+	one(t, db, q)
+	res := one(t, db, "select query_template, slots, tables, hits from pc.plan_cache")
+	if res.NumRows() != 1 {
+		t.Fatalf("pc.plan_cache rows = %d", res.NumRows())
+	}
+	if got := res.StringValue(0, 0); !strings.Contains(got, "?") {
+		t.Fatalf("template = %q", got)
+	}
+	if got := intCell(t, res, 0, "slots"); got != 1 {
+		t.Fatalf("slots = %d", got)
+	}
+	if got := res.StringValue(0, 2); got != "t" {
+		t.Fatalf("tables = %q", got)
+	}
+}
+
+// Concurrent sessions hammering the same template with different literals
+// must neither race (the template is cloned per execution) nor cross results.
+func TestPlanCacheConcurrent(t *testing.T) {
+	db := openWithData(t, 3000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				want := int64(1 + (g*25+i)%2999)
+				q := fmt.Sprintf("select count(*) as n from t where id < %d", want)
+				res, err := db.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := intCell(t, res, 0, "n"); got != want {
+					errs <- fmt.Errorf("id < %d: got %d", want, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := db.PlanCacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("no hits under concurrency: %+v", st)
+	}
+}
+
+func TestQueryCtxPreCancelled(t *testing.T) {
+	db := openWithData(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCtx(ctx, "select count(*) from t"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := len(db.QueryLog()); n != 0 {
+		t.Fatalf("pre-cancelled query was recorded (%d records)", n)
+	}
+}
+
+func TestQueryCtxCancelMidQuery(t *testing.T) {
+	db := openWithData(t, 200000)
+	// A self-join big enough that execution takes tens of milliseconds;
+	// cancel almost immediately and require a prompt abort. Retried a few
+	// times so a scheduler hiccup finishing the query early cannot flake the
+	// test.
+	q := "select count(*) as n from t a, t b where a.id = b.id"
+	for attempt := 0; attempt < 5; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := db.QueryCtx(ctx, q)
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			continue // finished before the cancel landed; try again
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("cancelled query ran %v", elapsed)
+		}
+		// The cancelled run must be recorded as a failure.
+		recs := db.QueryLog()
+		last := recs[len(recs)-1]
+		if last.SQL != q || !strings.Contains(last.Error, "cancel") {
+			t.Fatalf("cancelled query record = %+v", last)
+		}
+		return
+	}
+	t.Skip("query always completed before cancellation; machine too fast for this workload")
+}
+
+// A cancelled scan must not leave a partial entry in the predicate cache:
+// the next uncancelled run would serve wrong results from it.
+func TestCancelDoesNotPoisonPredicateCache(t *testing.T) {
+	db := openWithData(t, 200000)
+	q := "select count(*) as n from t where val < 50"
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		_, _ = db.QueryCtx(ctx, q)
+		cancel()
+	}
+	res := one(t, db, q)
+	if got := intCell(t, res, 0, "n"); got != 100000 {
+		t.Fatalf("count after cancelled runs = %d, want 100000", got)
+	}
+}

@@ -18,6 +18,7 @@
 package predcache
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -119,6 +120,18 @@ type DB struct {
 	// runtime is the optional health sampler behind pc.runtime, installed by
 	// StartRuntimeSampler.
 	runtime atomic.Pointer[obs.RuntimeCollector]
+
+	// plans caches parsed-and-planned SELECT templates keyed on normalized
+	// SQL (nil when disabled); immutable after Open. planCacheCap and
+	// planCacheOff only carry option values into Open.
+	plans        *sql.PlanCache
+	planCacheCap int
+	planCacheOff bool
+
+	// ddlGen counts schema changes; cached plans record the generation they
+	// were planned under and are dropped wholesale after any CREATE TABLE
+	// (new tables can change name resolution and join choices).
+	ddlGen atomic.Uint64
 }
 
 // Option configures Open.
@@ -175,6 +188,18 @@ func WithLogger(l *obs.Logger) Option {
 	return func(db *DB) { db.SetLogger(l) }
 }
 
+// WithPlanCacheCapacity bounds the normalized-SQL plan cache to n templates
+// (0 keeps the default, sql.DefaultPlanCacheCapacity).
+func WithPlanCacheCapacity(n int) Option {
+	return func(db *DB) { db.planCacheCap = n }
+}
+
+// WithoutPlanCache disables the normalized-SQL plan cache: every Query
+// parses and plans from scratch (ablation and debugging).
+func WithoutPlanCache() Option {
+	return func(db *DB) { db.planCacheOff = true }
+}
+
 // Open creates an empty in-memory database.
 func Open(opts ...Option) *DB {
 	db := &DB{
@@ -207,9 +232,13 @@ func Open(opts ...Option) *DB {
 		db.slo.RegisterMetrics(m)
 		db.traces.RegisterMetrics(m)
 	}
+	if !db.planCacheOff {
+		db.plans = sql.NewPlanCache(db.planCacheCap)
+	}
 	db.sysTables = systab.NewRegistry()
 	for _, vt := range []engine.VirtualTable{
 		systab.QueryLogTable(db.qlog),
+		systab.PlanCacheTable(db.plans),
 		systab.CacheEntriesTable(db.cache),
 		systab.CacheStatsTable(db.cache),
 		systab.TableStorageTable(db.cat),
@@ -245,7 +274,19 @@ func (db *DB) CreateTable(name string, schema Schema, sortKey ...string) error {
 		return fmt.Errorf("predcache: %q is reserved for system tables", systab.SchemaPrefix)
 	}
 	_, err := db.cat.CreateTable(name, schema, db.slices, sortKey...)
+	if err == nil {
+		// DDL invalidates every cached plan: a new table can change name
+		// resolution and the planner's join choices.
+		db.ddlGen.Add(1)
+	}
 	return err
+}
+
+// RegisterSystemTable adds a virtual table under the reserved pc schema
+// (the network server registers pc.sessions through this). The name must
+// carry the "pc." prefix and not clash with a registered table.
+func (db *DB) RegisterSystemTable(vt engine.VirtualTable) error {
+	return db.sysTables.Register(vt)
 }
 
 // Insert appends a batch of rows.
@@ -278,8 +319,13 @@ const dmlEpochRetries = 4
 // delete; row numbers do not change, so predicate-cache entries stay valid).
 // It returns the number of rows this statement deleted (rows a concurrent
 // statement deleted first are not counted twice).
-func (db *DB) DeleteWhere(table string, pred Pred) (int, error) {
-	defer db.observeDML(time.Now())
+func (db *DB) DeleteWhere(table string, pred Pred) (n int, err error) {
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			db.observeDML(start)
+		}
+	}()
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
@@ -296,7 +342,7 @@ func (db *DB) DeleteWhere(table string, pred Pred) (int, error) {
 	}
 	unlock := tbl.LockLayout() // exclude vacuums: the epoch cannot change now
 	defer unlock()
-	n, ok, err := db.tryDeleteWhere(tbl, table, pred)
+	n, ok, err = db.tryDeleteWhere(tbl, table, pred)
 	if err != nil {
 		return 0, err
 	}
@@ -332,8 +378,13 @@ func (db *DB) tryDeleteWhere(tbl *storage.Table, table string, pred Pred) (int, 
 // mismatched column lengths) leaves the table unchanged. apply may run more
 // than once if a concurrent Vacuum forces a re-match; it always receives a
 // freshly materialized batch. Returns the number of updated rows.
-func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, error) {
-	defer db.observeDML(time.Now())
+func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (n int, err error) {
+	start := time.Now()
+	defer func() {
+		if err == nil {
+			db.observeDML(start)
+		}
+	}()
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("predcache: unknown table %s", table)
@@ -350,7 +401,7 @@ func (db *DB) UpdateWhere(table string, pred Pred, apply func(b *Batch)) (int, e
 	}
 	unlock := tbl.LockLayout() // exclude vacuums: the epoch cannot change now
 	defer unlock()
-	n, ok, err := db.tryUpdateWhere(tbl, table, pred, apply)
+	n, ok, err = db.tryUpdateWhere(tbl, table, pred, apply)
 	if err != nil {
 		return 0, err
 	}
@@ -493,21 +544,23 @@ func (db *DB) matchRows(tbl *storage.Table, pred Pred) ([][]int, uint64, error) 
 // row numbers and therefore invalidates the table's predicate-cache entries.
 func (db *DB) Vacuum(table string) error {
 	start := time.Now()
-	defer db.observeDML(start)
 	tbl, ok := db.cat.Table(table)
 	if !ok {
 		return fmt.Errorf("predcache: unknown table %s", table)
 	}
 	tbl.Vacuum(db.cat.Snapshot())
+	db.observeDML(start)
 	db.logger.Load().Info("vacuum",
 		"table", table, "wall_us", time.Since(start).Microseconds(),
 		"rows", tbl.NumRows())
 	return nil
 }
 
-// observeDML records one mutation statement's wall time under the dml SLO
-// class. DML statements are not traced (they have no plan tree), so the
-// observation carries no retained-trace exemplar.
+// observeDML records one successful mutation statement's wall time under the
+// dml SLO class. Error paths (unknown table, bad predicate) deliberately do
+// not observe: their sub-microsecond no-op samples would skew the dml
+// histograms toward zero. DML statements are not traced (they have no plan
+// tree), so the observation carries no retained-trace exemplar.
 func (db *DB) observeDML(start time.Time) {
 	db.slo.Observe(obs.ClassDML, false, time.Since(start), -1, false)
 }
@@ -517,29 +570,90 @@ func (db *DB) observeDML(start time.Time) {
 // additionally executes the statement and annotates the plan with wall
 // times, cardinalities and per-scan cache outcomes.
 func (db *DB) Query(query string) (*Result, error) {
+	return db.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx is Query with cooperative cancellation: when ctx is cancelled the
+// executing plan stops at its next check point (every scan block and every
+// cancelCheckRows rows inside join/aggregation loops) and the query returns
+// ctx's error. Cancelled executions are recorded in pc.query_log like any
+// other failure, and never install partial predicate-cache entries. A ctx
+// that can never be cancelled (context.Background) costs nothing: the
+// execution context carries no ctx at all and the per-row checks reduce to a
+// nil test.
+func (db *DB) QueryCtx(ctx context.Context, query string) (*Result, error) {
 	if explain, analyze, rest := sql.StripExplain(query); explain {
 		var text string
 		var err error
 		if analyze {
-			text, err = db.ExplainAnalyze(rest)
+			text, err = db.explainAnalyze(ctx, query, rest)
 		} else {
-			text, err = db.Explain(rest)
+			text, err = db.explainRecorded(query, rest)
 		}
 		if err != nil {
 			return nil, err
 		}
 		return engine.TextRelation("plan", strings.Split(strings.TrimRight(text, "\n"), "\n")), nil
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			// Already cancelled before any work: nothing to record.
+			return nil, err
+		}
+	}
 	meta := queryMeta{sql: query, start: time.Now()}
 	if db.traces != nil {
 		meta.tr = obs.NewTrace()
 	}
+	node, err := db.parseAndPlan(&meta, query)
+	if err != nil {
+		db.recordFailed(meta, err)
+		return nil, err
+	}
+	ec := db.execCtx()
+	ec.Trace = meta.tr
+	if ctx != nil && ctx.Done() != nil {
+		ec.Ctx = ctx
+	}
+	return db.runInternal(node, ec, meta)
+}
+
+// parseAndPlan produces an executable plan for a SELECT, consulting the
+// normalized-SQL plan cache first. A hit skips lexing, parsing and planning:
+// meta.plan stays zero and meta.parse absorbs only the normalize+clone cost
+// (microseconds), which is how plan-cache hits are identified in
+// pc.query_log. On a miss the statement is parsed with slot tags so the
+// freshly planned tree can be cached as a bind template.
+func (db *DB) parseAndPlan(meta *queryMeta, query string) (engine.Node, error) {
+	var nq *sql.NormalizedQuery
+	var ddlGen uint64
+	if db.plans != nil {
+		// Load the DDL generation before the lookup: if a CREATE TABLE lands
+		// between here and Put, the entry is stored under the old generation
+		// and the next lookup discards it.
+		ddlGen = db.ddlGen.Load()
+		if n, ok := sql.Normalize(query); ok {
+			nq = n
+			csp := meta.tr.Begin(obs.KindPhase, "plan-cache")
+			node, hit := db.plans.Get(nq, db.cat, ddlGen)
+			csp.End()
+			if hit {
+				meta.parse = time.Since(meta.start)
+				return node, nil
+			}
+		}
+	}
 	psp := meta.tr.Begin(obs.KindPhase, "parse")
-	stmt, err := sql.Parse(query)
+	var stmt *sql.SelectStmt
+	var err error
+	if nq != nil {
+		stmt, err = sql.ParseNormalized(query, nq.Slots())
+	} else {
+		stmt, err = sql.Parse(query)
+	}
 	psp.End()
 	meta.parse = time.Since(meta.start)
 	if err != nil {
-		db.recordFailed(meta, err)
 		return nil, err
 	}
 	planStart := time.Now()
@@ -548,12 +662,12 @@ func (db *DB) Query(query string) (*Result, error) {
 	lsp.End()
 	meta.plan = time.Since(planStart)
 	if err != nil {
-		db.recordFailed(meta, err)
 		return nil, err
 	}
-	ec := db.execCtx()
-	ec.Trace = meta.tr
-	return db.runInternal(node, ec, meta)
+	if nq != nil {
+		db.plans.Put(nq, node, db.cat, ddlGen)
+	}
+	return node, nil
 }
 
 // queryMeta carries front-end context (query text, phase timings, the trace
@@ -748,12 +862,43 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 // vs predicate cache) and cache outcome, and cache/slice events beneath the
 // scans that produced them. A totals line mirrors LastQueryStats.
 func (db *DB) ExplainAnalyze(query string) (string, error) {
+	return db.explainAnalyze(context.Background(), query, query)
+}
+
+// explainRecorded is EXPLAIN's path through Query: plan only, never execute.
+// Parse and plan failures are recorded in pc.query_log under displaySQL —
+// the full statement the client sent, EXPLAIN prefix included — exactly like
+// any other failed query; successful EXPLAINs execute nothing and are not
+// recorded (matching the non-recording Explain accessor pcsh uses).
+func (db *DB) explainRecorded(displaySQL, rest string) (string, error) {
+	meta := queryMeta{sql: displaySQL, start: time.Now()}
+	stmt, err := sql.Parse(rest)
+	meta.parse = time.Since(meta.start)
+	if err != nil {
+		db.recordFailed(meta, err)
+		return "", err
+	}
+	planStart := time.Now()
+	node, err := sql.PlanWith(stmt, db.cat, db.sysTables)
+	meta.plan = time.Since(planStart)
+	if err != nil {
+		db.recordFailed(meta, err)
+		return "", err
+	}
+	return engine.Explain(node), nil
+}
+
+// explainAnalyze is the shared tail of ExplainAnalyze and Query's EXPLAIN
+// ANALYZE prefix: rest is parsed and executed, displaySQL (the full
+// statement, prefix included when it came through Query) is what the query
+// log and trace store record, and ctx cancels the execution like QueryCtx.
+func (db *DB) explainAnalyze(ctx context.Context, displaySQL, rest string) (string, error) {
 	tr := obs.NewTrace()
 	// keepSpans: the retention handoff copies the spans instead of detaching
 	// them, because the live trace is rendered below after runInternal.
-	meta := queryMeta{sql: query, start: time.Now(), tr: tr, keepSpans: true}
+	meta := queryMeta{sql: displaySQL, start: time.Now(), tr: tr, keepSpans: true}
 	psp := tr.Begin(obs.KindPhase, "parse")
-	stmt, err := sql.Parse(query)
+	stmt, err := sql.Parse(rest)
 	psp.End()
 	meta.parse = time.Since(meta.start)
 	if err != nil {
@@ -771,6 +916,9 @@ func (db *DB) ExplainAnalyze(query string) (string, error) {
 	}
 	ec := db.execCtx()
 	ec.Trace = tr
+	if ctx != nil && ctx.Done() != nil {
+		ec.Ctx = ctx
+	}
 	rel, err := db.runInternal(node, ec, meta)
 	if err != nil {
 		return "", err
@@ -835,4 +983,24 @@ func (db *DB) CacheEntries() []core.EntrySummary {
 		return nil
 	}
 	return db.cache.Entries()
+}
+
+// Plan-cache introspection types (see PlanCacheStats / PlanCacheEntries).
+type (
+	// PlanCacheStats reports normalized-SQL plan-cache counters.
+	PlanCacheStats = sql.PlanCacheStats
+	// PlanCacheEntry describes one cached plan template.
+	PlanCacheEntry = sql.PlanCacheEntry
+)
+
+// PlanCacheStats returns plan-cache counters (zero value when the cache is
+// disabled via WithoutPlanCache).
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return db.plans.Stats()
+}
+
+// PlanCacheEntries lists the cached plan templates, most recently used first
+// (nil when the cache is disabled). Also queryable as pc.plan_cache.
+func (db *DB) PlanCacheEntries() []PlanCacheEntry {
+	return db.plans.Entries()
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# server_smoke.sh: end-to-end check of pcserver over a real TCP socket.
+# Builds pcserver and pcclient, starts the server on an ephemeral port with a
+# tiny SSB dataset, then drives the wire protocol: results are correct and
+# stable across sessions, a repeated template hits the plan cache, prepared
+# statements execute, statement errors come back as "err" lines without
+# killing the session, pc.sessions sees the live connection, and SIGTERM
+# drains to a clean exit.
+set -eu
+
+BIN="$(mktemp -d)"
+SRV_PID=""
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/pcserver" ./cmd/pcserver
+go build -o "$BIN/pcclient" ./cmd/pcclient
+
+"$BIN/pcserver" -dataset ssb -sf 0.005 -addr 127.0.0.1:0 \
+    >"$BIN/server.log" 2>&1 &
+SRV_PID=$!
+
+# The server prints "listening on <addr>" once the dataset is loaded and the
+# socket is bound; -addr :0 makes the kernel pick the port, so parse it back.
+ADDR=""
+i=0
+while [ $i -lt 120 ]; do
+    ADDR="$(awk '/^listening on /{print $3; exit}' "$BIN/server.log")"
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        cat "$BIN/server.log" >&2
+        echo "server smoke: FAIL (server exited before listening)" >&2
+        exit 1
+    fi
+    sleep 0.25
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    cat "$BIN/server.log" >&2
+    echo "server smoke: FAIL (server never started listening)" >&2
+    exit 1
+fi
+
+# q STMT: run one statement in a fresh session, print the full framed reply.
+q() {
+    printf '%s\n' "$1" | "$BIN/pcclient" -addr "$ADDR" -timeout 30s
+}
+# val STMT: single-row single-column result value (line 3: ok, header, value).
+val() {
+    q "$1" | sed -n 3p
+}
+
+fail() {
+    echo "server smoke: FAIL ($1)" >&2
+    exit 1
+}
+
+# Correctness and cross-session stability: the same count twice, then the
+# plan cache must show the repeat as a hit on the normalized template.
+N1="$(val 'select count(*) as n from lineorder where lo_quantity < 10')"
+N2="$(val 'select count(*) as n from lineorder where lo_quantity < 10')"
+[ -n "$N1" ] && [ "$N1" -gt 0 ] 2>/dev/null || fail "bad count: '$N1'"
+[ "$N1" = "$N2" ] || fail "count changed across sessions: $N1 vs $N2"
+# A third run with a different literal must still be a template hit.
+N3="$(val 'select count(*) as n from lineorder where lo_quantity < 50')"
+[ "$N3" -ge "$N1" ] 2>/dev/null || fail "looser predicate returned fewer rows: $N3 < $N1"
+HITS="$(val 'select count(*) as n from pc.plan_cache where hits > 0')"
+[ -n "$HITS" ] && [ "$HITS" -ge 1 ] 2>/dev/null ||
+    fail "no plan-cache template recorded a hit (templates-with-hits='$HITS')"
+
+# One session: ping, a prepared statement, a statement error that must not
+# kill the session, and the session observing itself in pc.sessions.
+"$BIN/pcclient" -addr "$ADDR" -timeout 30s >"$BIN/session.out" <<'EOF'
+\ping
+\prepare q1 select count(*) as n from customer
+\exec q1
+select lo_nope from lineorder
+select count(*) as n from pc.sessions
+\quit
+EOF
+grep -q '^pong$' "$BIN/session.out" || fail "no pong"
+grep -q '^err ' "$BIN/session.out" || fail "bad statement produced no err line"
+grep -q '^bye$' "$BIN/session.out" || fail "session died before \\quit (no bye)"
+# The last single-column "n" result in the stream is the pc.sessions count.
+SESSIONS="$(awk '/^n$/{getline; last=$0} END{print last}' "$BIN/session.out")"
+[ -n "$SESSIONS" ] && [ "$SESSIONS" -ge 1 ] 2>/dev/null ||
+    fail "pc.sessions did not see the live session: '$SESSIONS'"
+
+# Graceful drain: SIGTERM, clean exit, final stats line.
+kill -TERM "$SRV_PID"
+RC=0
+wait "$SRV_PID" || RC=$?
+SRV_PID=""
+[ "$RC" -eq 0 ] || {
+    cat "$BIN/server.log" >&2
+    fail "server exited $RC on SIGTERM"
+}
+grep -q '^served ' "$BIN/server.log" || fail "no final stats after drain"
+
+echo "server smoke: OK ($N1 rows under lo_quantity<10, plan-cache hits=$HITS)"

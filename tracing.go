@@ -114,10 +114,15 @@ func (db *DB) StartRuntimeSampler(interval time.Duration) {
 }
 
 // StopRuntimeSampler halts the health sampler, waiting for its goroutine to
-// exit. The retained samples remain queryable via pc.runtime.
+// exit. The retained samples remain queryable via pc.runtime. Safe to call
+// repeatedly and without a prior Start: Stop on a nil or already-stopped
+// collector is a no-op.
 func (db *DB) StopRuntimeSampler() {
-	// Swap rather than Store so a concurrent Start cannot leak a collector.
-	db.runtime.Swap(nil).Stop()
+	// Keep the stopped collector loaded (Load, not Swap(nil)): its ring is
+	// what pc.runtime and RuntimeSamples serve after the sampler halts. A
+	// concurrent Start cannot leak a collector either way — Start's Swap
+	// stops whichever collector it displaces.
+	db.runtime.Load().Stop()
 }
 
 // RuntimeSamples returns the retained health samples, oldest first — the
