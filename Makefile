@@ -24,7 +24,7 @@ race:
 # The kernel equivalence oracles ride along: they hammer the pooled scan
 # scratch and the encoded/decoded split from many goroutines.
 stress:
-	$(GO) test -race -tags pcdebug -run 'TestDMLVacuumRace|TestConcurrentQueriesAndDML|TestRaceStressParallelScans|TestKernel' -count=2 .
+	$(GO) test -race -tags pcdebug -run 'TestDMLVacuumRace|TestConcurrentQueriesAndDML|TestRaceStressParallelScans|TestRaceStressParallelOperators|TestKernel' -count=2 .
 	$(GO) test -race -tags pcdebug -run 'TestKernel|TestEvalPredRanges|TestReadIntRange|TestReadFloatRange' ./internal/storage ./internal/expr
 
 # Tests with the pcdebug build tag: runtime invariant assertions (row-range
@@ -73,9 +73,14 @@ server-smoke:
 	./scripts/server_smoke.sh
 
 # One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
-# the benchmark harness without paying full measurement time.
+# the benchmark harness without paying full measurement time. The Table4
+# run exercises the morsel-parallel join/agg path at 1 and 4 procs, and the
+# engine equivalence tests fail the target on any serial-vs-parallel result
+# divergence (bit-exact, including float payloads).
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkScan -benchtime=1x .
+	$(GO) test -run=NONE -bench=BenchmarkTable4TPCHSkewed -benchtime=1x -cpu 1,4 .
+	$(GO) test -run 'TestJoinParallelSerialIdentical|TestAggParallelSerialIdentical' -cpu 1,4 ./internal/engine
 
 # Everything CI runs.
 check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke server-smoke

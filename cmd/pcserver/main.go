@@ -54,12 +54,16 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain timeout")
 	slow := flag.Duration("slow", 0, "slow-query threshold (0 keeps the default)")
 	logPath := flag.String("log", "", `write structured JSON log lines to this file ("-" for stderr); empty disables`)
+	workers := flag.Int("workers", 0, "max morsel-parallel workers per query (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var opts []predcache.Option
 	var logger *obs.Logger
 	if *slow > 0 {
 		opts = append(opts, predcache.WithSlowQueryThreshold(*slow))
+	}
+	if *workers > 0 {
+		opts = append(opts, predcache.WithMaxWorkers(*workers))
 	}
 	if *logPath != "" {
 		w := os.Stderr

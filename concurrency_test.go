@@ -104,6 +104,130 @@ func TestConcurrentQueriesAndDML(t *testing.T) {
 	}
 }
 
+// TestRaceStressParallelOperators hammers the morsel-parallel join and
+// aggregation paths under -race: multiple worker goroutines per query share
+// bound predicate trees, column vectors and the morsel-scratch pool while
+// writers append fresh dictionary values, delete rows and vacuum. Run with
+// -race.
+func TestRaceStressParallelOperators(t *testing.T) {
+	db := predcache.Open(
+		predcache.WithSlices(2),
+		predcache.WithMaxWorkers(4),
+	)
+	factSchema := predcache.Schema{
+		{Name: "id", Type: predcache.Int64},
+		{Name: "dim_id", Type: predcache.Int64},
+		{Name: "grp", Type: predcache.String},
+		{Name: "val", Type: predcache.Float64},
+	}
+	dimSchema := predcache.Schema{
+		{Name: "d_id", Type: predcache.Int64},
+		{Name: "d_cat", Type: predcache.String},
+	}
+	if err := db.CreateTable("fact", factSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("dim", dimSchema); err != nil {
+		t.Fatal(err)
+	}
+	const rows, dims = 20000, 64
+	fb := predcache.NewBatch(factSchema)
+	for i := 0; i < rows; i++ {
+		fb.Cols[0].Ints = append(fb.Cols[0].Ints, int64(i))
+		fb.Cols[1].Ints = append(fb.Cols[1].Ints, int64(i%dims))
+		fb.Cols[2].Strings = append(fb.Cols[2].Strings, []string{"a", "b", "c", "d"}[i%4])
+		fb.Cols[3].Floats = append(fb.Cols[3].Floats, float64(i%1000)/10)
+	}
+	fb.N = rows
+	if err := db.Insert("fact", fb); err != nil {
+		t.Fatal(err)
+	}
+	dbch := predcache.NewBatch(dimSchema)
+	for i := 0; i < dims; i++ {
+		dbch.Cols[0].Ints = append(dbch.Cols[0].Ints, int64(i))
+		dbch.Cols[1].Strings = append(dbch.Cols[1].Strings, []string{"X", "Y", "Z"}[i%3])
+	}
+	dbch.N = dims
+	if err := db.Insert("dim", dbch); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		"select d_cat, count(*), sum(val) from fact, dim where dim_id = d_id group by d_cat",
+		"select grp, count(*), min(val), max(val) from fact where val >= 20 group by grp",
+		"select count(*), sum(val), avg(val) from fact, dim where dim_id = d_id and val < 80",
+		"select grp, count(*) from fact where val >= 10 and val < 90 group by grp",
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := db.Query(queries[(w+i)%len(queries)]); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Writer: appends fact rows with fresh dictionary values.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 12; i++ {
+			b := predcache.NewBatch(factSchema)
+			for j := 0; j < 500; j++ {
+				b.Cols[0].Ints = append(b.Cols[0].Ints, int64(rows+i*500+j))
+				b.Cols[1].Ints = append(b.Cols[1].Ints, int64(r.Intn(dims)))
+				b.Cols[2].Strings = append(b.Cols[2].Strings, fmt.Sprintf("g-%d", r.Intn(6)))
+				b.Cols[3].Floats = append(b.Cols[3].Floats, float64(r.Intn(1000))/10)
+			}
+			b.N = 500
+			if err := db.Insert("fact", b); err != nil {
+				errCh <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	// Deleter + vacuumer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			pred, err := predcache.ParseWhere(fmt.Sprintf("val = %d", i*9))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := db.DeleteWhere("fact", pred); err != nil {
+				errCh <- fmt.Errorf("deleter: %w", err)
+				return
+			}
+			if i%3 == 2 {
+				if err := db.Vacuum("fact"); err != nil {
+					errCh <- fmt.Errorf("vacuum: %w", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	res, err := db.Query("select count(*) from fact, dim where dim_id = d_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Col(0).Ints[0] == 0 {
+		t.Fatal("join returned no rows after the storm")
+	}
+}
+
 // TestRaceStressParallelScans drives the full concurrent surface at once with
 // parallel per-slice scans enabled: distinct predicates churn cache inserts, a
 // tiny memory budget forces evictions, appends advance watermarks (Extend),

@@ -31,6 +31,9 @@ type Config struct {
 	// Timing repetitions per measured query.
 	Reps int
 	Seed int64
+	// MaxWorkers caps morsel-parallel operator workers per query; zero means
+	// GOMAXPROCS (so `go test -cpu 1,4` scales the DOP naturally).
+	MaxWorkers int
 }
 
 // DefaultConfig is the pcbench scale.

@@ -1,9 +1,10 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 
 	"github.com/predcache/predcache/internal/expr"
 	"github.com/predcache/predcache/internal/storage"
@@ -20,20 +21,306 @@ type aggState struct {
 	seen     bool
 }
 
-// Execute performs hash aggregation.
+// boundAgg is one aggregate bound against the input relation. The bound
+// scalar tree is shared read-only across workers; each worker evaluates it
+// into its own scratch chunk.
+type boundAgg struct {
+	spec     AggSpec
+	bs       expr.BoundScalar // nil when no evaluation is needed (count)
+	evalInt  bool             // accumulate from the int chunk
+	bitsFrom bool             // count_distinct over floats: exact bit identity
+	intArg   bool             // min/max preserve integer typing
+	outTyp   storage.ColumnType
+	dict     *storage.Dict
+}
+
+// bindAggs binds the aggregate specs against the input relation.
+func bindAggs(specs []AggSpec, in *Relation) ([]*boundAgg, error) {
+	baggs := make([]*boundAgg, len(specs))
+	for i, spec := range specs {
+		ba := &boundAgg{spec: spec, outTyp: storage.Float64}
+		switch spec.Func {
+		case AggCount:
+			// count ignores its argument's values (this engine has no NULLs),
+			// so it never evaluates one.
+			ba.outTyp = storage.Int64
+		case AggCountDistinct:
+			bs, err := expr.BindScalar(spec.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			ba.bs, ba.outTyp, ba.evalInt = bs, storage.Int64, true
+			ba.bitsFrom = !bs.Out().IsInt()
+		case AggMin, AggMax:
+			bs, err := expr.BindScalar(spec.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			ba.bs = bs
+			if bs.Out().IsInt() {
+				ba.intArg, ba.evalInt = true, true
+				ba.outTyp = bs.Out()
+				if cr, ok := spec.Arg.(*expr.ColRef); ok {
+					if c := in.ColByName(cr.Name); c != nil {
+						ba.dict = c.Dict
+					}
+				}
+			}
+		default: // sum, avg
+			bs, err := expr.BindScalar(spec.Arg, in)
+			if err != nil {
+				return nil, err
+			}
+			ba.bs = bs
+		}
+		baggs[i] = ba
+	}
+	return baggs, nil
+}
+
+// evalChunk evaluates ba's argument for the selected rows into the worker's
+// scratch vectors. Exactly one of the returned chunks is meaningful
+// (position-indexed alongside sel); both are nil when ba needs no values.
+func evalChunk(ba *boundAgg, ctx *expr.BlockCtx, sel []int, scr *morselScratch) ([]int64, []float64) {
+	if ba.bs == nil {
+		return nil, nil
+	}
+	iv, fv := scr.vecs(len(sel))
+	switch {
+	case ba.evalInt && !ba.bitsFrom:
+		ba.bs.EvalI(ctx, sel, iv)
+		return iv, nil
+	case ba.evalInt:
+		ba.bs.EvalF(ctx, sel, fv)
+		for i, v := range fv {
+			iv[i] = int64(math.Float64bits(v))
+		}
+		return iv, nil
+	default:
+		ba.bs.EvalF(ctx, sel, fv)
+		return nil, fv
+	}
+}
+
+// accumulate folds one evaluated chunk into the group states. gidx[i] is
+// the group index of sel position i; states is group-major with nA states
+// per group, ai selecting this aggregate's slot. The function switch stays
+// outside the row loop.
+//
+// pclint:noalloc
+func accumulate(fn AggFunc, intArg bool, states []aggState, nA, ai int, gidx []int32, iv []int64, fv []float64) {
+	switch fn {
+	case AggCount:
+		for _, g := range gidx {
+			states[int(g)*nA+ai].count++
+		}
+	case AggCountDistinct:
+		for i, g := range gidx {
+			st := &states[int(g)*nA+ai]
+			if st.distinct == nil {
+				st.distinct = make(map[int64]struct{}) // pclint:allow noalloc: one distinct set per group, amortized over its rows
+			}
+			st.distinct[iv[i]] = struct{}{} // pclint:allow noalloc: the distinct set is the aggregate's state
+		}
+	case AggSum, AggAvg:
+		for i, g := range gidx {
+			st := &states[int(g)*nA+ai]
+			st.sum += fv[i]
+			st.count++
+		}
+	case AggMin:
+		if intArg {
+			for i, g := range gidx {
+				st := &states[int(g)*nA+ai]
+				if !st.seen || iv[i] < st.minI {
+					st.minI = iv[i]
+				}
+				st.seen = true
+			}
+			return
+		}
+		for i, g := range gidx {
+			st := &states[int(g)*nA+ai]
+			if !st.seen || fv[i] < st.min {
+				st.min = fv[i]
+			}
+			st.seen = true
+		}
+	case AggMax:
+		if intArg {
+			for i, g := range gidx {
+				st := &states[int(g)*nA+ai]
+				if !st.seen || iv[i] > st.maxI {
+					st.maxI = iv[i]
+				}
+				st.seen = true
+			}
+			return
+		}
+		for i, g := range gidx {
+			st := &states[int(g)*nA+ai]
+			if !st.seen || fv[i] > st.max {
+				st.max = fv[i]
+			}
+			st.seen = true
+		}
+	}
+}
+
+// mergeState folds src into dst for one aggregate. Callers merge in morsel
+// index order, so float sums associate identically for every worker count.
+func mergeState(dst, src *aggState, fn AggFunc, intArg bool) {
+	switch fn {
+	case AggCount:
+		dst.count += src.count
+	case AggCountDistinct:
+		if dst.distinct == nil {
+			dst.distinct = src.distinct
+			return
+		}
+		for k := range src.distinct {
+			dst.distinct[k] = struct{}{}
+		}
+	case AggSum, AggAvg:
+		dst.sum += src.sum
+		dst.count += src.count
+	case AggMin:
+		if !src.seen {
+			return
+		}
+		if intArg {
+			if !dst.seen || src.minI < dst.minI {
+				dst.minI = src.minI
+			}
+		} else if !dst.seen || src.min < dst.min {
+			dst.min = src.min
+		}
+		dst.seen = true
+	case AggMax:
+		if !src.seen {
+			return
+		}
+		if intArg {
+			if !dst.seen || src.maxI > dst.maxI {
+				dst.maxI = src.maxI
+			}
+		} else if !dst.seen || src.max > dst.max {
+			dst.max = src.max
+		}
+		dst.seen = true
+	}
+}
+
+// aggTable accumulates group states for one hash partition (the whole input
+// when running single-partition). Groups get dense indexes in first-sight
+// order; states is group-major with nA slots per group.
+type aggTable struct {
+	nA        int
+	singleInt bool // one non-float group column: dict codes / ints key directly
+	gcols     []*RelCol
+	enc       *joinKeyEncoder
+	intIdx    map[int64]int32
+	strIdx    map[string]int32
+	firstRow  []int32
+	states    []aggState
+}
+
+func newAggTable(gcols []*RelCol, nA int) *aggTable {
+	t := &aggTable{nA: nA, gcols: gcols}
+	t.singleInt = len(gcols) == 1 && gcols[0].Type != storage.Float64
+	if t.singleInt {
+		t.intIdx = map[int64]int32{}
+	} else {
+		t.strIdx = map[string]int32{}
+		t.enc = &joinKeyEncoder{cols: gcols}
+	}
+	return t
+}
+
+// groupOf returns the dense group index of row, creating the group on first
+// sight. Composite keys encode into the worker's scratch key buffer; the
+// map lookup converts without allocating.
+//
+// pclint:allowalloc per-group state creation (map insert, state append),
+// amortized over every row of the group.
+func (t *aggTable) groupOf(row int, scr *morselScratch) int32 {
+	if t.singleInt {
+		k := t.gcols[0].Ints[row]
+		if gi, ok := t.intIdx[k]; ok {
+			return gi
+		}
+		gi := t.addGroup(row)
+		t.intIdx[k] = gi
+		return gi
+	}
+	scr.key = t.enc.encode(scr.key[:0], row)
+	if gi, ok := t.strIdx[string(scr.key)]; ok {
+		return gi
+	}
+	gi := t.addGroup(row)
+	t.strIdx[string(scr.key)] = gi
+	return gi
+}
+
+func (t *aggTable) addGroup(row int) int32 {
+	gi := int32(len(t.firstRow))
+	t.firstRow = append(t.firstRow, int32(row))
+	for i := 0; i < t.nA; i++ {
+		t.states = append(t.states, aggState{})
+	}
+	return gi
+}
+
+// processChunk folds one chunk of selected rows into the table: group
+// lookup into the scratch group-index vector, then one accumulate pass per
+// aggregate over the scratch-evaluated argument chunk.
+func processChunk(t *aggTable, baggs []*boundAgg, ctx *expr.BlockCtx, sel []int, scr *morselScratch) {
+	gidx := scr.groupIdx(len(sel))
+	for i, row := range sel {
+		gidx[i] = t.groupOf(row, scr)
+	}
+	for ai, ba := range baggs {
+		iv, fv := evalChunk(ba, ctx, sel, scr)
+		accumulate(ba.spec.Func, ba.intArg, t.states, t.nA, ai, gidx, iv, fv)
+	}
+}
+
+// groupHash spreads row's group key across partitions.
+func groupHash(t *aggTable, row int, scr *morselScratch) uint64 {
+	if t.singleInt {
+		return mix64(uint64(t.gcols[0].Ints[row]))
+	}
+	scr.key = t.enc.encode(scr.key[:0], row)
+	return hashBytes(scr.key)
+}
+
+// finalGroup is one output group: its representative row (for the group-by
+// column values; -1 for the global aggregate) and its nA states.
+type finalGroup struct {
+	first  int32
+	states []aggState
+}
+
+// Execute performs hash aggregation, morsel-parallel under
+// ExecCtx.Parallel/MaxWorkers. Filter nodes directly under the input stream
+// as per-morsel selection vectors. Grouped aggregation hash-partitions by
+// group key and accumulates each partition's rows in global row order;
+// global aggregation accumulates per-morsel partial states merged in morsel
+// order — both make parallel and Serial plans bit-identical for any worker
+// count.
 func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, a)
 	defer func() { endNodeSpan(sp, rel, err) }()
 	if err = ec.Cancelled(); err != nil {
 		return nil, err
 	}
-	in, err := a.Input.Execute(ec)
+	inNode, fusedPreds := fusedFilterInput(a.Input)
+	in, err := inNode.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	setRowsIn(sp, in)
 
-	// Bind group-by columns.
 	groupCols := make([]*RelCol, len(a.GroupBy))
 	for i, g := range a.GroupBy {
 		c := in.ColByName(g)
@@ -42,179 +329,54 @@ func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 		groupCols[i] = c
 	}
-
-	// Bind and evaluate aggregate inputs over the whole relation.
+	baggs, err := bindAggs(a.Aggs, in)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := bindFused(fusedPreds, in)
+	if err != nil {
+		return nil, err
+	}
 	ctx := in.blockCtx()
-	sel := make([]int, in.NumRows())
-	for i := range sel {
-		sel[i] = i
-	}
-	type boundAgg struct {
-		spec   AggSpec
-		vals   []float64 // evaluated input (nil for count(*))
-		intArg bool      // min/max preserve integer typing
-		ivals  []int64
-		outTyp storage.ColumnType
-		dict   *storage.Dict
-	}
-	baggs := make([]*boundAgg, len(a.Aggs))
-	for i, spec := range a.Aggs {
-		ba := &boundAgg{spec: spec, outTyp: storage.Float64}
-		if spec.Func == AggCount && spec.Arg == nil {
-			ba.outTyp = storage.Int64
-		} else {
-			bs, err := expr.BindScalar(spec.Arg, in)
-			if err != nil {
-				return nil, err
-			}
-			switch spec.Func {
-			case AggCount, AggCountDistinct:
-				ba.outTyp = storage.Int64
-				ba.ivals = make([]int64, in.NumRows())
-				if bs.Out().IsInt() {
-					bs.EvalI(ctx, sel, ba.ivals)
-				} else {
-					fv := make([]float64, in.NumRows())
-					bs.EvalF(ctx, sel, fv)
-					for k, v := range fv {
-						ba.ivals[k] = int64(math.Float64bits(v))
-					}
-				}
-			case AggMin, AggMax:
-				if bs.Out().IsInt() {
-					ba.intArg = true
-					ba.outTyp = bs.Out()
-					if cr, ok := spec.Arg.(*expr.ColRef); ok {
-						if c := in.ColByName(cr.Name); c != nil {
-							ba.dict = c.Dict
-						}
-					}
-					ba.ivals = make([]int64, in.NumRows())
-					bs.EvalI(ctx, sel, ba.ivals)
-				} else {
-					ba.vals = make([]float64, in.NumRows())
-					bs.EvalF(ctx, sel, ba.vals)
-				}
-			default: // sum, avg
-				ba.vals = make([]float64, in.NumRows())
-				bs.EvalF(ctx, sel, ba.vals)
-			}
-		}
-		baggs[i] = ba
+	if len(bounds) > 0 && sp.Active() {
+		sp.SetInt("filters.fused", int64(len(bounds)))
 	}
 
-	// Group rows.
-	type group struct {
-		firstRow int
-		states   []aggState
-	}
-	newGroup := func(row int) *group {
-		return &group{firstRow: row, states: make([]aggState, len(baggs))}
-	}
+	n := in.NumRows()
+	nA := len(baggs)
+	nm := numMorsels(n)
+	var pa parAccounting
+	pa.workers = ec.workers(n)
+	pa.morsels = nm
 
-	var groups []*group
-	singleInt := len(groupCols) == 1 && groupCols[0].Type != storage.Float64
-	intGroups := map[int64]*group{}
-	byteGroups := map[string]*group{}
-	var scratch []byte
+	var groups []finalGroup
 	if len(groupCols) == 0 {
-		groups = append(groups, newGroup(-1))
+		groups, err = a.runGlobal(ec, baggs, bounds, ctx, n, nm, &pa)
+	} else if pa.workers <= 1 {
+		groups, err = a.runGroupedSerial(ec, groupCols, baggs, bounds, ctx, n, &pa)
+	} else {
+		groups, err = a.runGroupedParallel(ec, groupCols, baggs, bounds, ctx, n, nm, &pa)
 	}
-	groupOf := func(row int) *group {
-		if len(groupCols) == 0 {
-			return groups[0]
-		}
-		if singleInt {
-			k := groupCols[0].Ints[row]
-			g, ok := intGroups[k]
-			if !ok {
-				g = newGroup(row)
-				intGroups[k] = g
-				groups = append(groups, g)
-			}
-			return g
-		}
-		scratch = scratch[:0]
-		var buf [8]byte
-		for _, c := range groupCols {
-			switch c.Type {
-			case storage.Float64:
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.Floats[row]))
-				scratch = append(scratch, buf[:]...)
-			case storage.String:
-				s := c.Dict.Value(c.Ints[row])
-				binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
-				scratch = append(scratch, buf[:4]...)
-				scratch = append(scratch, s...)
-			default:
-				binary.LittleEndian.PutUint64(buf[:], uint64(c.Ints[row]))
-				scratch = append(scratch, buf[:]...)
-			}
-		}
-		g, ok := byteGroups[string(scratch)]
-		if !ok {
-			g = newGroup(row)
-			byteGroups[string(scratch)] = g
-			groups = append(groups, g)
-		}
-		return g
+	if err != nil {
+		return nil, err
 	}
+	pa.finish(ec, sp)
 
-	for row := 0; row < in.NumRows(); row++ {
-		if row&(cancelCheckRows-1) == 0 {
-			if err := ec.Cancelled(); err != nil {
-				return nil, err
-			}
-		}
-		g := groupOf(row)
-		for i, ba := range baggs {
-			st := &g.states[i]
-			switch ba.spec.Func {
-			case AggCount:
-				st.count++
-			case AggCountDistinct:
-				if st.distinct == nil {
-					st.distinct = make(map[int64]struct{})
-				}
-				st.distinct[ba.ivals[row]] = struct{}{}
-			case AggSum, AggAvg:
-				st.sum += ba.vals[row]
-				st.count++
-			case AggMin:
-				if ba.intArg {
-					if !st.seen || ba.ivals[row] < st.minI {
-						st.minI = ba.ivals[row]
-					}
-				} else if !st.seen || ba.vals[row] < st.min {
-					st.min = ba.vals[row]
-				}
-				st.seen = true
-			case AggMax:
-				if ba.intArg {
-					if !st.seen || ba.ivals[row] > st.maxI {
-						st.maxI = ba.ivals[row]
-					}
-				} else if !st.seen || ba.vals[row] > st.max {
-					st.max = ba.vals[row]
-				}
-				st.seen = true
-			}
-		}
-	}
-
-	// Assemble output: group columns first, then aggregates.
-	out := make([]RelCol, 0, len(groupCols)+len(baggs))
+	// Assemble output: group columns first (representative-row values), then
+	// aggregates. Groups are ordered by first occurrence, matching the
+	// serial single-pass insertion order.
+	out := make([]RelCol, 0, len(groupCols)+nA)
 	for gi, c := range groupCols {
 		dst := RelCol{Name: a.GroupBy[gi], Type: c.Type, Dict: c.Dict}
 		if c.Type == storage.Float64 {
 			dst.Floats = make([]float64, len(groups))
 			for k, g := range groups {
-				dst.Floats[k] = c.Floats[g.firstRow]
+				dst.Floats[k] = c.Floats[g.first]
 			}
 		} else {
 			dst.Ints = make([]int64, len(groups))
 			for k, g := range groups {
-				dst.Ints[k] = c.Ints[g.firstRow]
+				dst.Ints[k] = c.Ints[g.first]
 			}
 		}
 		out = append(out, dst)
@@ -261,4 +423,174 @@ func (a *Agg) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		out = append(out, dst)
 	}
 	return NewRelation(out)
+}
+
+// runGlobal computes the single global aggregate row: per-morsel partial
+// states, merged in morsel index order. Every worker count — including one —
+// runs the same partial/merge structure, so the result is identical for any
+// degree of parallelism.
+func (a *Agg) runGlobal(ec *ExecCtx, baggs []*boundAgg, bounds []expr.Bound, ctx *expr.BlockCtx, n, nm int, pa *parAccounting) ([]finalGroup, error) {
+	nA := len(baggs)
+	partials := make([]aggState, nm*nA)
+	cur := &morselCursor{rows: n}
+	cpu, err := runWorkers(pa.workers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
+			sel := morselSel(scr, ctx, bounds, lo, hi)
+			if len(sel) == 0 {
+				return nil
+			}
+			gidx := scr.groupIdx(len(sel))
+			for i := range gidx {
+				gidx[i] = 0
+			}
+			states := partials[m*nA : (m+1)*nA]
+			for ai, ba := range baggs {
+				iv, fv := evalChunk(ba, ctx, sel, scr)
+				accumulate(ba.spec.Func, ba.intArg, states, nA, ai, gidx, iv, fv)
+			}
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	if err != nil {
+		return nil, err
+	}
+	final := make([]aggState, nA)
+	for m := 0; m < nm; m++ {
+		for ai, ba := range baggs {
+			mergeState(&final[ai], &partials[m*nA+ai], ba.spec.Func, ba.intArg)
+		}
+	}
+	return []finalGroup{{first: -1, states: final}}, nil
+}
+
+// runGroupedSerial is the single-worker grouped path: one table, one
+// streaming pass in row order.
+func (a *Agg) runGroupedSerial(ec *ExecCtx, groupCols []*RelCol, baggs []*boundAgg, bounds []expr.Bound, ctx *expr.BlockCtx, n int, pa *parAccounting) ([]finalGroup, error) {
+	t := newAggTable(groupCols, len(baggs))
+	cur := &morselCursor{rows: n}
+	cpu, err := runWorkers(1, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		return forEachMorsel(ec, cur, func(_, lo, hi int) error {
+			sel := morselSel(scr, ctx, bounds, lo, hi)
+			if len(sel) > 0 {
+				processChunk(t, baggs, ctx, sel, scr)
+			}
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	if err != nil {
+		return nil, err
+	}
+	return collectGroups([]*aggTable{t}, len(baggs)), nil
+}
+
+// runGroupedParallel is the partitioned grouped path. Phase 1 scatters each
+// morsel's selected rows by group-hash partition (a per-morsel counting
+// sort into the morsel's own segment of rowBuf, preserving row order).
+// Phase 2 workers claim partitions and fold each partition's rows iterating
+// morsels in ascending order — every group therefore accumulates its rows
+// in global row order, exactly like the serial pass.
+func (a *Agg) runGroupedParallel(ec *ExecCtx, groupCols []*RelCol, baggs []*boundAgg, bounds []expr.Bound, ctx *expr.BlockCtx, n, nm int, pa *parAccounting) ([]finalGroup, error) {
+	nA := len(baggs)
+	nP := partitionsFor(pa.workers)
+	pmask := uint64(nP - 1)
+	hashT := newAggTable(groupCols, 0) // key layout only, for hashing
+	rowBuf := make([]int32, n)         // morsel m owns rowBuf[m*morselSize : ...]
+	moffs := make([]int32, nm*(nP+1))  // per-morsel partition offsets into its segment
+
+	cur := &morselCursor{rows: n}
+	cpu, err := runWorkers(pa.workers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
+			sel := morselSel(scr, ctx, bounds, lo, hi)
+			pids := scr.partIds(len(sel))
+			count, cursor := scr.partCounters(nP)
+			for i, row := range sel {
+				p := uint8(groupHash(hashT, row, scr) & pmask)
+				pids[i] = p
+				count[p]++
+			}
+			offs := moffs[m*(nP+1) : (m+1)*(nP+1)]
+			offs[0] = 0
+			for p := 0; p < nP; p++ {
+				offs[p+1] = offs[p] + count[p]
+				cursor[p] = offs[p]
+			}
+			seg := rowBuf[lo:hi]
+			for i, row := range sel {
+				p := pids[i]
+				seg[cursor[p]] = int32(row)
+				cursor[p]++
+			}
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	if err != nil {
+		return nil, err
+	}
+
+	tables := make([]*aggTable, nP)
+	var pcur atomic.Int64
+	cpu, err = runWorkers(pa.workers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		for {
+			p := int(pcur.Add(1)) - 1
+			if p >= nP {
+				return nil
+			}
+			t := newAggTable(groupCols, nA)
+			tables[p] = t
+			for m := 0; m < nm; m++ {
+				if m&15 == 0 {
+					if err := ec.Cancelled(); err != nil {
+						return err
+					}
+				}
+				offs := moffs[m*(nP+1):]
+				s, e := offs[p], offs[p+1]
+				if s == e {
+					continue
+				}
+				seg := rowBuf[m*morselSize+int(s) : m*morselSize+int(e)]
+				sel := scr.selFromInt32(seg)
+				processChunk(t, baggs, ctx, sel, scr)
+			}
+		}
+	})
+	pa.cpu += cpu
+	if err != nil {
+		return nil, err
+	}
+	return collectGroups(tables, nA), nil
+}
+
+// collectGroups flattens partition tables into output groups ordered by
+// first occurrence (each group lives in exactly one partition, so no state
+// merging is needed — only reordering).
+func collectGroups(tables []*aggTable, nA int) []finalGroup {
+	total := 0
+	for _, t := range tables {
+		if t != nil {
+			total += len(t.firstRow)
+		}
+	}
+	groups := make([]finalGroup, 0, total)
+	for _, t := range tables {
+		if t == nil {
+			continue
+		}
+		for g := range t.firstRow {
+			groups = append(groups, finalGroup{first: t.firstRow[g], states: t.states[g*nA : (g+1)*nA]})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].first < groups[j].first })
+	return groups
 }

@@ -122,6 +122,17 @@ func writeAnalyzeSpan(b *strings.Builder, sp *obs.Span) {
 			rd, _ := sp.IntAttr("rows.decoded")
 			fmt.Fprintf(b, " rows(scanned=%d qualified=%d decoded=%d)", v, q, rd)
 		}
+		if w, ok := sp.IntAttr("parallel.workers"); ok {
+			m, _ := sp.IntAttr("parallel.morsels")
+			us, _ := sp.IntAttr("parallel.cpu_us")
+			// cpu vs the node's wall time is the parallel-efficiency signal:
+			// cpu ≈ wall means one busy worker, cpu ≈ W×wall means W.
+			fmt.Fprintf(b, " parallel(workers=%d morsels=%d cpu=%s)", w, m,
+				analyzeDur(time.Duration(us)*time.Microsecond))
+		}
+		if v, ok := sp.IntAttr("filters.fused"); ok {
+			fmt.Fprintf(b, " fused.filters=%d", v)
+		}
 		if msg, ok := sp.StrAttr("error"); ok {
 			fmt.Fprintf(b, " ERROR: %s", msg)
 		}

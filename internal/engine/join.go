@@ -3,9 +3,12 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"github.com/predcache/predcache/internal/bloom"
 	"github.com/predcache/predcache/internal/core"
+	"github.com/predcache/predcache/internal/expr"
 	"github.com/predcache/predcache/internal/storage"
 )
 
@@ -35,13 +38,18 @@ func (e *joinKeyEncoder) single() bool {
 
 func (e *joinKeyEncoder) intKey(row int) int64 { return e.cols[0].Ints[row] }
 
-// encode appends the composite key bytes for row to dst.
+// encode appends the composite key bytes for row to dst. Floats are encoded
+// by their exact bit pattern (math.Float64bits): equal float64 values — and
+// only equal values — produce equal key bytes, so keys differing below any
+// fixed scale never collide and large magnitudes never overflow.
+//
+// pclint:allowalloc amortized growth of the caller-owned key scratch.
 func (e *joinKeyEncoder) encode(dst []byte, row int) []byte {
 	var buf [8]byte
 	for _, c := range e.cols {
 		switch c.Type {
 		case storage.Float64:
-			binary.LittleEndian.PutUint64(buf[:], uint64(int64(c.Floats[row]*1e6)))
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(c.Floats[row]))
 			dst = append(dst, buf[:]...)
 		case storage.String:
 			s := c.Dict.Value(c.Ints[row])
@@ -56,10 +64,317 @@ func (e *joinKeyEncoder) encode(dst []byte, row int) []byte {
 	return dst
 }
 
+// joinTable is the build side of the hash join: a chained hash table,
+// optionally split into hash partitions for the parallel build. Each
+// partition maps a key to a chain id; heads/tails index the chain and next
+// links build rows in ascending row order, so probing enumerates duplicate
+// build keys exactly as the serial insertion order would. Compared to the
+// old map[key][]int32, chains cost one pre-sized map plus three flat arrays
+// instead of one slice allocation per distinct key.
+type joinTable struct {
+	single bool
+	pmask  uint64 // partition selector over the key hash; 0 = one partition
+	parts  []joinPart
+	next   []int32 // build row -> next build row with the same key, -1 ends
+}
+
+// joinPart is one hash partition of the build table. In the parallel build
+// every build row belongs to exactly one partition, so partition workers
+// write disjoint chains (and disjoint next entries) without locks.
+type joinPart struct {
+	intIdx map[int64]int32
+	strIdx map[string]int32
+	heads  []int32
+	tails  []int32
+}
+
+// init pre-sizes the partition's hash map and chain arenas for n build rows
+// (cardinality is known exactly once the build input has materialized; the
+// serial path gets the same pre-sizing win as the parallel one).
+func (p *joinPart) init(single bool, n int) {
+	if single {
+		p.intIdx = make(map[int64]int32, n)
+	} else {
+		p.strIdx = make(map[string]int32, n)
+	}
+	p.heads = make([]int32, 0, n)
+	p.tails = make([]int32, 0, n)
+}
+
+// insertInt appends row to the chain of integer key k in partition p.
+func (jt *joinTable) insertInt(p *joinPart, k int64, row int32) {
+	jt.next[row] = -1
+	if ci, ok := p.intIdx[k]; ok {
+		jt.next[p.tails[ci]] = row
+		p.tails[ci] = row
+		return
+	}
+	p.intIdx[k] = int32(len(p.heads))
+	p.heads = append(p.heads, row)
+	p.tails = append(p.tails, row)
+}
+
+// insertBytes appends row to the chain of composite key bytes in partition
+// p. The map lookup converts without allocating; only a chain-starting
+// insert copies the key into the map.
+func (jt *joinTable) insertBytes(p *joinPart, key []byte, row int32) {
+	jt.next[row] = -1
+	if ci, ok := p.strIdx[string(key)]; ok {
+		jt.next[p.tails[ci]] = row
+		p.tails[ci] = row
+		return
+	}
+	p.strIdx[string(key)] = int32(len(p.heads))
+	p.heads = append(p.heads, row)
+	p.tails = append(p.tails, row)
+}
+
+// first returns the first build row matching probe row's key, or -1. The
+// caller walks the rest of the chain through jt.next. Composite keys are
+// encoded into the worker's scratch key buffer.
+//
+// pclint:noalloc
+func (jt *joinTable) first(enc *joinKeyEncoder, row int, scr *morselScratch) int32 {
+	if jt.single {
+		k := enc.intKey(row)
+		p := &jt.parts[0]
+		if jt.pmask != 0 {
+			p = &jt.parts[mix64(uint64(k))&jt.pmask]
+		}
+		if ci, ok := p.intIdx[k]; ok {
+			return p.heads[ci]
+		}
+		return -1
+	}
+	key := enc.encode(scr.key[:0], row)
+	scr.key = key
+	p := &jt.parts[0]
+	if jt.pmask != 0 {
+		p = &jt.parts[hashBytes(key)&jt.pmask]
+	}
+	if ci, ok := p.strIdx[string(key)]; ok { // pclint:allow noalloc: map index with string(b) does not allocate
+		return p.heads[ci]
+	}
+	return -1
+}
+
+// buildJoinTable builds the chained hash table over rel's key columns with
+// up to workers workers. A single worker inserts rows 0..n-1 directly. The
+// parallel build hash-partitions instead: pass 1 computes every row's
+// partition morsel-parallel, pass 2 has partition workers insert their rows
+// in ascending row order — per-key chain order is identical to the serial
+// build, so parallel and Serial joins return bit-identical results.
+func buildJoinTable(ec *ExecCtx, rel *Relation, enc *joinKeyEncoder, workers int, pa *parAccounting) (*joinTable, error) {
+	n := rel.NumRows()
+	jt := &joinTable{single: enc.single(), next: make([]int32, n)}
+	nParts := 1
+	if workers > 1 && n >= 2*morselSize {
+		nParts = partitionsFor(workers)
+	}
+	jt.parts = make([]joinPart, nParts)
+	if nParts == 1 {
+		p := &jt.parts[0]
+		p.init(jt.single, n)
+		scr := acquireMorselScratch()
+		defer scr.release()
+		for row := 0; row < n; row++ {
+			if row&(cancelCheckRows-1) == 0 {
+				if err := ec.Cancelled(); err != nil {
+					return nil, err
+				}
+			}
+			if jt.single {
+				jt.insertInt(p, enc.intKey(row), int32(row))
+			} else {
+				scr.key = enc.encode(scr.key[:0], row)
+				jt.insertBytes(p, scr.key, int32(row))
+			}
+		}
+		return jt, nil
+	}
+	jt.pmask = uint64(nParts - 1)
+
+	// Pass 1: each row's partition, morsel-parallel.
+	partOf := make([]uint8, n)
+	cur := &morselCursor{rows: n}
+	cpu, err := runWorkers(workers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		return forEachMorsel(ec, cur, func(_, lo, hi int) error {
+			if jt.single {
+				for row := lo; row < hi; row++ {
+					partOf[row] = uint8(mix64(uint64(enc.intKey(row))) & jt.pmask)
+				}
+			} else {
+				for row := lo; row < hi; row++ {
+					scr.key = enc.encode(scr.key[:0], row)
+					partOf[row] = uint8(hashBytes(scr.key) & jt.pmask)
+				}
+			}
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	pa.morsels += numMorsels(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: partition workers claim partitions and insert their rows in
+	// ascending row order (scanning the byte-sized partition map is cheap
+	// next to the hash inserts it feeds).
+	var pcur atomic.Int64
+	cpu, err = runWorkers(workers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		for {
+			pi := int(pcur.Add(1)) - 1
+			if pi >= nParts {
+				return nil
+			}
+			if err := ec.Cancelled(); err != nil {
+				return err
+			}
+			part := &jt.parts[pi]
+			part.init(jt.single, n/nParts+1)
+			pb := uint8(pi)
+			for row := 0; row < n; row++ {
+				if row&(cancelCheckRows-1) == 0 {
+					if err := ec.Cancelled(); err != nil {
+						return err
+					}
+				}
+				if partOf[row] != pb {
+					continue
+				}
+				if jt.single {
+					jt.insertInt(part, enc.intKey(row), int32(row))
+				} else {
+					scr.key = enc.encode(scr.key[:0], row)
+					jt.insertBytes(part, scr.key, int32(row))
+				}
+			}
+		}
+	})
+	pa.cpu += cpu
+	return jt, err
+}
+
+// joinMorselOut holds one probe morsel's matches: parallel probe/build row
+// lists in probe-row order. build is nil for semi/anti joins; -1 marks an
+// unmatched probe row in a left outer join.
+type joinMorselOut struct {
+	probe []int32
+	build []int32
+}
+
+// probeMorsel probes one morsel's selected rows against the build table,
+// appending match pairs in probe-row order with duplicate build keys in
+// build-row order — the same enumeration the serial loop produces, so the
+// concatenation of per-morsel outputs is the serial result.
+//
+// pclint:noalloc
+func (j *Join) probeMorsel(jt *joinTable, enc *joinKeyEncoder, sel []int, needBuild bool, out *joinMorselOut, scr *morselScratch) {
+	probe := make([]int32, 0, len(sel)) // pclint:allow noalloc: per-morsel output buffer, one make per 4096 rows
+	var build []int32
+	if needBuild {
+		build = make([]int32, 0, len(sel)) // pclint:allow noalloc: per-morsel output buffer, one make per 4096 rows
+	}
+	switch j.Type {
+	case InnerJoin:
+		for _, row := range sel {
+			for r := jt.first(enc, row, scr); r >= 0; r = jt.next[r] {
+				probe = append(probe, int32(row)) // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+				build = append(build, r)          // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+			}
+		}
+	case LeftOuterJoin:
+		for _, row := range sel {
+			r := jt.first(enc, row, scr)
+			if r < 0 {
+				probe = append(probe, int32(row)) // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+				build = append(build, -1)         // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+				continue
+			}
+			for ; r >= 0; r = jt.next[r] {
+				probe = append(probe, int32(row)) // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+				build = append(build, r)          // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+			}
+		}
+	case SemiJoin:
+		for _, row := range sel {
+			if jt.first(enc, row, scr) >= 0 {
+				probe = append(probe, int32(row)) // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+			}
+		}
+	case AntiJoin:
+		for _, row := range sel {
+			if jt.first(enc, row, scr) < 0 {
+				probe = append(probe, int32(row)) // pclint:allow noalloc: amortized growth beyond the pre-sized match buffer
+			}
+		}
+	}
+	out.probe, out.build = probe, build
+}
+
+// joinOutSpec describes one output column of the join assembly.
+type joinOutSpec struct {
+	src       *RelCol
+	fromBuild bool
+	matched   bool // the synthesized __matched marker of a left outer join
+}
+
+// copyJoinOut gathers one morsel's slice of one output column into its
+// pre-allocated region of the result — morsel regions are disjoint, so
+// assembly workers write without coordination.
+//
+// pclint:noalloc
+func copyJoinOut(dst *RelCol, spec *joinOutSpec, out *joinMorselOut, base int) {
+	if spec.matched {
+		d := dst.Ints[base : base+len(out.probe)]
+		for i, r := range out.build {
+			if r >= 0 {
+				d[i] = 1
+			} else {
+				d[i] = 0
+			}
+		}
+		return
+	}
+	rows := out.probe
+	if spec.fromBuild {
+		rows = out.build
+	}
+	if spec.src.Type == storage.Float64 {
+		d := dst.Floats[base : base+len(rows)]
+		src := spec.src.Floats
+		for i, r := range rows {
+			if r >= 0 {
+				d[i] = src[r]
+			} else {
+				d[i] = 0
+			}
+		}
+		return
+	}
+	d := dst.Ints[base : base+len(rows)]
+	src := spec.src.Ints
+	for i, r := range rows {
+		if r >= 0 {
+			d[i] = src[r]
+		} else {
+			d[i] = 0
+		}
+	}
+}
+
 // Execute runs the hash join: build on Right, probe with Left. When
 // enabled, a Bloom filter of the build keys is pushed into a probe-side
 // base-table scan before it runs, so the scan can cache the semi-join
-// result (§4.4, Figure 12).
+// result (§4.4, Figure 12). Build, probe and output assembly are
+// morsel-parallel under ExecCtx.Parallel/MaxWorkers; Filter nodes directly
+// under the probe side stream as per-morsel selection vectors instead of
+// materializing an intermediate relation.
 func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	sp := beginNodeSpan(ec, j)
 	defer func() { endNodeSpan(sp, rel, err) }()
@@ -78,32 +393,11 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		return nil, err
 	}
 
-	// Build the hash table.
-	var intTable map[int64][]int32
-	var bytesTable map[string][]int32
-	if buildEnc.single() {
-		intTable = make(map[int64][]int32, buildRel.NumRows())
-		for row := 0; row < buildRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
-			}
-			k := buildEnc.intKey(row)
-			intTable[k] = append(intTable[k], int32(row))
-		}
-	} else {
-		bytesTable = make(map[string][]int32, buildRel.NumRows())
-		var scratch []byte
-		for row := 0; row < buildRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
-			}
-			scratch = buildEnc.encode(scratch[:0], row)
-			bytesTable[string(scratch)] = append(bytesTable[string(scratch)], int32(row))
-		}
+	var pa parAccounting
+	pa.workers = ec.workers(buildRel.NumRows())
+	jt, err := buildJoinTable(ec, buildRel, buildEnc, pa.workers, &pa)
+	if err != nil {
+		return nil, err
 	}
 
 	// Semi-join filter pushdown into the base probe-side scan. The probe key
@@ -150,7 +444,10 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		}
 	}
 
-	probeRel, err := j.Left.Execute(ec)
+	// Streaming path: Filter nodes directly under the probe side evaluate
+	// per morsel over the shared column vectors instead of materializing.
+	probeNode, fusedPreds := fusedFilterInput(j.Left)
+	probeRel, err := probeNode.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -162,136 +459,106 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		// Mixed representations: fall back to byte keys on both sides.
 		return nil, fmt.Errorf("engine: join key type mismatch between %v and %v", j.LeftKeys, j.RightKeys)
 	}
-
-	lookup := func(row int, scratch []byte) ([]int32, []byte) {
-		if intTable != nil {
-			return intTable[probeEnc.intKey(row)], scratch
+	bounds, err := bindFused(fusedPreds, probeRel)
+	if err != nil {
+		return nil, err
+	}
+	var probeCtx *expr.BlockCtx
+	if len(bounds) > 0 {
+		probeCtx = probeRel.blockCtx()
+		if sp.Active() {
+			sp.SetInt("filters.fused", int64(len(bounds)))
 		}
-		scratch = probeEnc.encode(scratch[:0], row)
-		return bytesTable[string(scratch)], scratch
 	}
 
-	var probeRows []int
-	var buildRows []int32
-	var scratch []byte
-	switch j.Type {
-	case InnerJoin:
-		for row := 0; row < probeRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
+	// Probe over morsels pulled from a shared cursor.
+	pn := probeRel.NumRows()
+	if w := ec.workers(pn); w > pa.workers {
+		pa.workers = w
+	}
+	probeWorkers := ec.workers(pn)
+	nm := numMorsels(pn)
+	needBuild := j.Type == InnerJoin || j.Type == LeftOuterJoin
+	outs := make([]joinMorselOut, nm)
+	cur := &morselCursor{rows: pn}
+	cpu, err := runWorkers(probeWorkers, func(int) error {
+		scr := acquireMorselScratch()
+		defer scr.release()
+		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
+			sel := morselSel(scr, probeCtx, bounds, lo, hi)
+			if len(sel) == 0 {
+				return nil
 			}
-			var matches []int32
-			matches, scratch = lookup(row, scratch)
-			for _, m := range matches {
-				probeRows = append(probeRows, row)
-				buildRows = append(buildRows, m)
-			}
-		}
-	case LeftOuterJoin:
-		for row := 0; row < probeRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
-			}
-			var matches []int32
-			matches, scratch = lookup(row, scratch)
-			if len(matches) == 0 {
-				probeRows = append(probeRows, row)
-				buildRows = append(buildRows, -1)
-				continue
-			}
-			for _, m := range matches {
-				probeRows = append(probeRows, row)
-				buildRows = append(buildRows, m)
-			}
-		}
-	case SemiJoin:
-		for row := 0; row < probeRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
-			}
-			var matches []int32
-			matches, scratch = lookup(row, scratch)
-			if len(matches) > 0 {
-				probeRows = append(probeRows, row)
-			}
-		}
-	case AntiJoin:
-		for row := 0; row < probeRel.NumRows(); row++ {
-			if row&(cancelCheckRows-1) == 0 {
-				if err := ec.Cancelled(); err != nil {
-					return nil, err
-				}
-			}
-			var matches []int32
-			matches, scratch = lookup(row, scratch)
-			if len(matches) == 0 {
-				probeRows = append(probeRows, row)
-			}
-		}
+			j.probeMorsel(jt, probeEnc, sel, needBuild, &outs[m], scr)
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	pa.morsels += nm
+	if err != nil {
+		return nil, err
 	}
 
 	// Assemble the output: probe columns, then (for inner/left) build
 	// columns not shadowing probe names, plus a __matched marker for left
 	// outer joins (this engine has no NULLs; sum(__matched) recovers SQL's
-	// count(build_col) semantics).
-	out := make([]RelCol, 0, probeRel.NumCols()+buildRel.NumCols()+1)
+	// count(build_col) semantics). Morsel match counts prefix-sum into
+	// disjoint output regions, so gathering is parallel and exact-sized.
+	offs := make([]int, nm+1)
+	for m := 0; m < nm; m++ {
+		offs[m+1] = offs[m] + len(outs[m].probe)
+	}
+	total := offs[nm]
+
+	var specs []joinOutSpec
+	cols := make([]RelCol, 0, probeRel.NumCols()+buildRel.NumCols()+1)
+	addCol := func(spec joinOutSpec, name string, typ storage.ColumnType, dict *storage.Dict) {
+		c := RelCol{Name: name, Type: typ, Dict: dict}
+		if typ == storage.Float64 {
+			c.Floats = make([]float64, total)
+		} else {
+			c.Ints = make([]int64, total)
+		}
+		specs = append(specs, spec)
+		cols = append(cols, c)
+	}
 	for i := 0; i < probeRel.NumCols(); i++ {
 		src := probeRel.Col(i)
-		dst := RelCol{Name: src.Name, Type: src.Type, Dict: src.Dict}
-		if src.Type == storage.Float64 {
-			dst.Floats = make([]float64, len(probeRows))
-			for k, row := range probeRows {
-				dst.Floats[k] = src.Floats[row]
-			}
-		} else {
-			dst.Ints = make([]int64, len(probeRows))
-			for k, row := range probeRows {
-				dst.Ints[k] = src.Ints[row]
-			}
-		}
-		out = append(out, dst)
+		addCol(joinOutSpec{src: src}, src.Name, src.Type, src.Dict)
 	}
-	if j.Type == InnerJoin || j.Type == LeftOuterJoin {
+	if needBuild {
 		for i := 0; i < buildRel.NumCols(); i++ {
 			src := buildRel.Col(i)
 			if probeRel.ColByName(src.Name) != nil {
 				continue // shadowed (typically the join key re-appearing)
 			}
-			dst := RelCol{Name: src.Name, Type: src.Type, Dict: src.Dict}
-			if src.Type == storage.Float64 {
-				dst.Floats = make([]float64, len(probeRows))
-				for k := range probeRows {
-					if buildRows[k] >= 0 {
-						dst.Floats[k] = src.Floats[buildRows[k]]
-					}
-				}
-			} else {
-				dst.Ints = make([]int64, len(probeRows))
-				for k := range probeRows {
-					if buildRows[k] >= 0 {
-						dst.Ints[k] = src.Ints[buildRows[k]]
-					}
-				}
-			}
-			out = append(out, dst)
+			addCol(joinOutSpec{src: src, fromBuild: true}, src.Name, src.Type, src.Dict)
 		}
 	}
 	if j.Type == LeftOuterJoin {
-		matched := RelCol{Name: "__matched", Type: storage.Int64, Ints: make([]int64, len(probeRows))}
-		for k := range probeRows {
-			if buildRows[k] >= 0 {
-				matched.Ints[k] = 1
-			}
-		}
-		out = append(out, matched)
+		addCol(joinOutSpec{matched: true}, "__matched", storage.Int64, nil)
 	}
-	return NewRelation(out)
+
+	acur := &morselCursor{rows: pn}
+	cpu, err = runWorkers(probeWorkers, func(int) error {
+		return forEachMorsel(ec, acur, func(m, _, _ int) error {
+			out := &outs[m]
+			if len(out.probe) == 0 {
+				return nil
+			}
+			for i := range specs {
+				copyJoinOut(&cols[i], &specs[i], out, offs[m])
+			}
+			return nil
+		})
+	})
+	pa.cpu += cpu
+	pa.morsels += nm
+	if err != nil {
+		return nil, err
+	}
+	pa.finish(ec, sp)
+	return NewRelation(cols)
 }
 
 // baseProbeScan descends to the base-table scan feeding the probe side,

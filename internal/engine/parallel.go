@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/obs"
+)
+
+// morselSize is the number of rows a worker claims from the shared cursor at
+// a time. It matches cancelCheckRows so every morsel claim doubles as a
+// cancellation point: a cancelled query stops within one morsel of work per
+// worker, preserving the server's cancellation latency bound.
+const morselSize = cancelCheckRows
+
+// numMorsels returns how many morsels cover rows.
+func numMorsels(rows int) int { return (rows + morselSize - 1) / morselSize }
+
+// workers returns the degree of parallelism for a morsel-parallel operator
+// over rows input rows: 1 when the context is serial, otherwise MaxWorkers
+// (default GOMAXPROCS) bounded by the morsel count so tiny inputs do not
+// spawn idle goroutines.
+func (ec *ExecCtx) workers(rows int) int {
+	if ec.Serial || !ec.Parallel {
+		return 1
+	}
+	w := ec.MaxWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if m := numMorsels(rows); w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// partitionsFor picks the build/group partition fan-out for a worker count:
+// the next power of two ≥ workers (so a hash can be masked instead of
+// modded), capped at 64 to bound per-partition bookkeeping.
+func partitionsFor(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	p := 1
+	for p < workers {
+		p <<= 1
+	}
+	if p > 64 {
+		p = 64
+	}
+	return p
+}
+
+// morselCursor hands out morsels of [0, rows) to competing workers. Claims
+// are a single atomic add; workers pull the next morsel whenever they finish
+// one, so skew (an expensive morsel, a descheduled worker) self-balances.
+type morselCursor struct {
+	next atomic.Int64
+	rows int
+}
+
+// forEachMorsel claims morsels from cur until they run out, invoking
+// fn(m, lo, hi) for each claimed morsel m covering rows [lo, hi). Every
+// claim checks cancellation, so this is the operator's cancellation point.
+func forEachMorsel(ec *ExecCtx, cur *morselCursor, fn func(m, lo, hi int) error) error {
+	for {
+		m := int(cur.next.Add(1)) - 1
+		lo := m * morselSize
+		if lo >= cur.rows {
+			return nil
+		}
+		if err := ec.Cancelled(); err != nil {
+			return err
+		}
+		hi := lo + morselSize
+		if hi > cur.rows {
+			hi = cur.rows
+		}
+		if err := fn(m, lo, hi); err != nil {
+			return err
+		}
+	}
+}
+
+// runWorkers runs fn(w) on workers goroutines (inline, without spawning,
+// when workers == 1), returning the summed per-worker busy time and the
+// first error. Busy time vs the caller's wall time is the EXPLAIN ANALYZE
+// parallel-efficiency signal.
+func runWorkers(workers int, fn func(w int) error) (time.Duration, error) {
+	if workers <= 1 {
+		start := time.Now()
+		err := fn(0)
+		return time.Since(start), err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	busy := make([]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			errs[w] = fn(w)
+			busy[w] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	var cpu time.Duration
+	for _, d := range busy {
+		cpu += d
+	}
+	for _, err := range errs {
+		if err != nil {
+			return cpu, err
+		}
+	}
+	return cpu, nil
+}
+
+// parAccounting accumulates one operator's parallel-execution counters
+// across its phases (build, probe, partition, assemble).
+type parAccounting struct {
+	workers int
+	morsels int
+	cpu     time.Duration
+}
+
+// finish publishes the counters to the operator's span and the query stats.
+func (pa *parAccounting) finish(ec *ExecCtx, sp obs.SpanRef) {
+	if sp.Active() && pa.workers > 0 {
+		sp.SetInt("parallel.workers", int64(pa.workers))
+		sp.SetInt("parallel.morsels", int64(pa.morsels))
+		sp.SetInt("parallel.cpu_us", pa.cpu.Microseconds())
+	}
+	if ec.Stats != nil {
+		ec.Stats.Morsels.Add(int64(pa.morsels))
+		ec.Stats.WorkerNanos.Add(pa.cpu.Nanoseconds())
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed 64-bit mixer
+// used to spread integer join/group keys across partitions independently of
+// the Go map hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashBytes is FNV-1a over a byte slice (same parameters as hashString).
+//
+// pclint:noalloc
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// streamablePred reports whether a bound predicate can be evaluated per
+// morsel without per-call scratch proportional to the relation: OR and NOT
+// allocate relation-sized mark vectors on every Eval, so filters containing
+// them fall back to the materializing Filter node.
+func streamablePred(p expr.Pred) bool {
+	switch t := p.(type) {
+	case nil:
+		return false
+	case *expr.OrPred, *expr.NotPred:
+		return false
+	case *expr.AndPred:
+		for _, c := range t.Children {
+			if !streamablePred(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// fusedFilterInput unwraps a chain of Filter nodes with streamable
+// predicates above n's input, returning the innermost input and the fused
+// predicates (innermost first). The caller evaluates them per morsel over a
+// shared selection vector instead of materializing one intermediate
+// Relation per Filter — the selection-vector streaming path.
+func fusedFilterInput(n Node) (Node, []expr.Pred) {
+	var preds []expr.Pred
+	for {
+		f, ok := n.(*Filter)
+		if !ok || !streamablePred(f.Pred) {
+			return n, preds
+		}
+		preds = append([]expr.Pred{f.Pred}, preds...)
+		n = f.Input
+	}
+}
+
+// bindFused binds fused filter predicates against the streamed relation.
+func bindFused(preds []expr.Pred, in *Relation) ([]expr.Bound, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	bounds := make([]expr.Bound, len(preds))
+	for i, p := range preds {
+		b, err := expr.Bind(p, in)
+		if err != nil {
+			return nil, err
+		}
+		bounds[i] = b
+	}
+	return bounds, nil
+}
+
+// morselSel produces the selection vector of one morsel: the identity rows
+// [lo, hi) filtered through the fused bound predicates. The returned slice
+// aliases scr.sel and is valid until the next call on the same scratch.
+// Bound trees are shared read-only across workers; each worker filters its
+// own scratch-owned vector.
+//
+// pclint:noalloc
+func morselSel(scr *morselScratch, ctx *expr.BlockCtx, bounds []expr.Bound, lo, hi int) []int {
+	sel := scr.identitySel(lo, hi)
+	for _, b := range bounds {
+		sel = b.Eval(ctx, sel)
+		if len(sel) == 0 {
+			break
+		}
+	}
+	return sel
+}

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/predcache/predcache/internal/expr"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// execWith runs a plan under the given parallelism settings.
+func execWith(t testing.TB, cat *storage.Catalog, n Node, parallel bool, maxWorkers int) *Relation {
+	t.Helper()
+	ec := &ExecCtx{Catalog: cat, Snapshot: cat.Snapshot(), Stats: &storage.ScanStats{}}
+	if parallel {
+		ec.Parallel = true
+		ec.MaxWorkers = maxWorkers
+	} else {
+		ec.Serial = true
+	}
+	rel, err := n.Execute(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// requireIdentical asserts two relations are bit-identical: same schema,
+// same row order, integer columns equal, float columns equal by exact bit
+// pattern (not tolerance — the parallel operators promise determinism).
+func requireIdentical(t testing.TB, serial, parallel *Relation) {
+	t.Helper()
+	if serial.NumRows() != parallel.NumRows() || serial.NumCols() != parallel.NumCols() {
+		t.Fatalf("shape mismatch: serial %dx%d, parallel %dx%d",
+			serial.NumRows(), serial.NumCols(), parallel.NumRows(), parallel.NumCols())
+	}
+	for ci := 0; ci < serial.NumCols(); ci++ {
+		sc, pc := serial.Col(ci), parallel.Col(ci)
+		if sc.Name != pc.Name || sc.Type != pc.Type {
+			t.Fatalf("column %d: serial %s/%v, parallel %s/%v", ci, sc.Name, sc.Type, pc.Name, pc.Type)
+		}
+		for row := 0; row < serial.NumRows(); row++ {
+			if sc.Type == storage.Float64 {
+				if math.Float64bits(sc.Floats[row]) != math.Float64bits(pc.Floats[row]) {
+					t.Fatalf("col %s row %d: serial %v (%x) parallel %v (%x)", sc.Name, row,
+						sc.Floats[row], math.Float64bits(sc.Floats[row]),
+						pc.Floats[row], math.Float64bits(pc.Floats[row]))
+				}
+				continue
+			}
+			if sc.Type == storage.String {
+				if serial.StringValue(row, ci) != parallel.StringValue(row, ci) {
+					t.Fatalf("col %s row %d: serial %q parallel %q", sc.Name, row,
+						serial.StringValue(row, ci), parallel.StringValue(row, ci))
+				}
+				continue
+			}
+			if sc.Ints[row] != pc.Ints[row] {
+				t.Fatalf("col %s row %d: serial %d parallel %d", sc.Name, row, sc.Ints[row], pc.Ints[row])
+			}
+		}
+	}
+}
+
+// TestJoinFloatKeyBitExact is the regression test for the float join-key
+// encoding: the old int64(f*1e6) encoding collided keys differing below
+// 1e-6 and overflowed large magnitudes. Exact-bits encoding must match
+// exactly the equal keys and nothing else.
+func TestJoinFloatKeyBitExact(t *testing.T) {
+	cat := storage.NewCatalog()
+	lSchema := storage.Schema{{Name: "lk", Type: storage.Float64}, {Name: "lv", Type: storage.Int64}}
+	rSchema := storage.Schema{{Name: "rk", Type: storage.Float64}, {Name: "rv", Type: storage.Int64}}
+	lt, err := cat.CreateTable("l", lSchema, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := cat.CreateTable("r", rSchema, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.0000001 vs 1.0000002 differ below the old 1e-6 scale; 1e15 and
+	// 1e15+2 both overflow it; 0.3 vs 0.1+0.2 differ only in the last ulp.
+	lKeys := []float64{1.0000001, 1.0000002, 1e15, 1e15 + 2, -7.25, 0.3}
+	rKeys := []float64{1.0000002, 1e15, -7.25, math.Nextafter(0.3, 1)}
+	lb := storage.NewBatch(lSchema)
+	for i, k := range lKeys {
+		lb.Cols[0].Floats = append(lb.Cols[0].Floats, k)
+		lb.Cols[1].Ints = append(lb.Cols[1].Ints, int64(i))
+	}
+	lb.N = len(lKeys)
+	if err := lt.Append(lb, cat.NextXID()); err != nil {
+		t.Fatal(err)
+	}
+	rb := storage.NewBatch(rSchema)
+	for i, k := range rKeys {
+		rb.Cols[0].Floats = append(rb.Cols[0].Floats, k)
+		rb.Cols[1].Ints = append(rb.Cols[1].Ints, int64(100+i))
+	}
+	rb.N = len(rKeys)
+	if err := rt.Append(rb, cat.NextXID()); err != nil {
+		t.Fatal(err)
+	}
+
+	join := &Join{
+		Left: &Scan{Table: "l"}, Right: &Scan{Table: "r"},
+		LeftKeys: []string{"lk"}, RightKeys: []string{"rk"}, Type: InnerJoin,
+	}
+	want := 0
+	for _, lk := range lKeys {
+		for _, rk := range rKeys {
+			if lk == rk {
+				want++
+			}
+		}
+	}
+	if want != 3 {
+		t.Fatalf("test setup: want 3 exact matches, computed %d", want)
+	}
+	for _, par := range []bool{false, true} {
+		rel := execWith(t, cat, join, par, 4)
+		if rel.NumRows() != want {
+			t.Fatalf("parallel=%v: %d matches, want %d (float keys collided or dropped)", par, rel.NumRows(), want)
+		}
+	}
+}
+
+// TestJoinParallelSerialIdentical checks every join type against the same
+// plan executed serially: bit-identical output, including duplicate-match
+// order and fused probe-side filters.
+func TestJoinParallelSerialIdentical(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 41)
+	for _, tc := range []struct {
+		name string
+		plan Node
+	}{
+		{"inner_int_key", &Join{
+			Left: &Scan{Table: "items"}, Right: &Scan{Table: "dims"},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: InnerJoin,
+		}},
+		{"left_outer", &Join{
+			Left: &Scan{Table: "items"}, Right: &Filter{
+				Input: &Scan{Table: "dims"},
+				Pred:  expr.Cmp("d_rank", expr.Lt, expr.Int(50)),
+			},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: LeftOuterJoin,
+		}},
+		{"semi", &Join{
+			Left: &Scan{Table: "items"}, Right: &Scan{Table: "dims"},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: SemiJoin,
+		}},
+		{"anti", &Join{
+			Left: &Scan{Table: "items"}, Right: &Filter{
+				Input: &Scan{Table: "dims"},
+				Pred:  expr.Cmp("d_rank", expr.Ge, expr.Int(30)),
+			},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: AntiJoin,
+		}},
+		// Fused streaming filter on the probe side + composite string/int key
+		// against a large build side (exercises the partitioned build).
+		{"fused_filter_composite_key", &Join{
+			Left: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred: expr.And(
+					expr.Cmp("qty", expr.Le, expr.Int(10)),
+					expr.Cmp("price", expr.Ge, expr.Float(5)),
+				),
+			},
+			Right:    &Scan{Table: "items", Alias: "r"},
+			LeftKeys: []string{"mode", "qty"}, RightKeys: []string{"r.mode", "r.qty"}, Type: SemiJoin,
+		}},
+		// OR predicates are not streamable: the Filter node must still
+		// materialize and the join must agree with the serial plan.
+		{"or_filter_not_fused", &Join{
+			Left: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred: expr.Or(
+					expr.Cmp("qty", expr.Le, expr.Int(5)),
+					expr.Cmp("qty", expr.Ge, expr.Int(45)),
+				),
+			},
+			Right:    &Scan{Table: "dims"},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: InnerJoin,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := execWith(t, d.cat, tc.plan, false, 0)
+			for _, w := range []int{1, 2, 4, 7} {
+				requireIdentical(t, serial, execWith(t, d.cat, tc.plan, true, w))
+			}
+		})
+	}
+}
+
+// TestAggParallelSerialIdentical checks grouped and global aggregation
+// against the serial plan: identical group order, identical float bits for
+// every worker count (the partition/merge structure is deterministic).
+func TestAggParallelSerialIdentical(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 42)
+	allAggs := []AggSpec{
+		{Func: AggCount, Name: "cnt"},
+		{Func: AggCountDistinct, Arg: expr.Col("qty"), Name: "dq"},
+		{Func: AggCountDistinct, Arg: expr.Col("price"), Name: "dp"},
+		{Func: AggSum, Arg: expr.Col("price"), Name: "total"},
+		{Func: AggAvg, Arg: expr.Col("price"), Name: "avg_p"},
+		{Func: AggMin, Arg: expr.Col("price"), Name: "min_p"},
+		{Func: AggMax, Arg: expr.Col("price"), Name: "max_p"},
+		{Func: AggMin, Arg: expr.Col("qty"), Name: "min_q"},
+		{Func: AggMax, Arg: expr.Col("mode"), Name: "max_m"},
+	}
+	for _, tc := range []struct {
+		name string
+		plan Node
+	}{
+		{"global", &Agg{Input: &Scan{Table: "items"}, Aggs: allAggs}},
+		{"group_int", &Agg{Input: &Scan{Table: "items"}, GroupBy: []string{"dim_id"}, Aggs: allAggs}},
+		{"group_string", &Agg{Input: &Scan{Table: "items"}, GroupBy: []string{"mode"}, Aggs: allAggs}},
+		{"group_multi_key", &Agg{Input: &Scan{Table: "items"}, GroupBy: []string{"mode", "qty"}, Aggs: allAggs}},
+		{"fused_filter", &Agg{
+			Input: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred:  expr.Cmp("qty", expr.Ge, expr.Int(25)),
+			},
+			GroupBy: []string{"mode"}, Aggs: allAggs,
+		}},
+		{"global_fused_filter", &Agg{
+			Input: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred:  expr.Cmp("price", expr.Lt, expr.Float(50)),
+			},
+			Aggs: allAggs,
+		}},
+		{"or_filter_not_fused", &Agg{
+			Input: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred: expr.Or(
+					expr.Cmp("qty", expr.Le, expr.Int(5)),
+					expr.Cmp("qty", expr.Ge, expr.Int(45)),
+				),
+			},
+			GroupBy: []string{"mode"}, Aggs: allAggs,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := execWith(t, d.cat, tc.plan, false, 0)
+			for _, w := range []int{1, 2, 4, 7} {
+				requireIdentical(t, serial, execWith(t, d.cat, tc.plan, true, w))
+			}
+		})
+	}
+}
+
+// TestJoinAboveAggPipeline runs a full filter→join→agg pipeline both ways.
+func TestJoinAboveAggPipeline(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 43)
+	plan := &Agg{
+		Input: &Filter{
+			Input: &Join{
+				Left: &Filter{
+					Input: &Scan{Table: "items"},
+					Pred:  expr.Cmp("qty", expr.Ge, expr.Int(10)),
+				},
+				Right:    &Scan{Table: "dims"},
+				LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: InnerJoin,
+			},
+			Pred: expr.Cmp("d_rank", expr.Lt, expr.Int(80)),
+		},
+		GroupBy: []string{"d_cat"},
+		Aggs: []AggSpec{
+			{Func: AggCount, Name: "cnt"},
+			{Func: AggSum, Arg: expr.Col("price"), Name: "total"},
+		},
+	}
+	serial := execWith(t, d.cat, plan, false, 0)
+	for _, w := range []int{2, 4} {
+		requireIdentical(t, serial, execWith(t, d.cat, plan, true, w))
+	}
+}
+
+// TestParallelCancellation verifies morsel claims observe a cancelled
+// context: join and agg stop with the context error.
+func TestParallelCancellation(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 44)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, plan := range []Node{
+		&Join{Left: &Scan{Table: "items"}, Right: &Scan{Table: "dims"},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: InnerJoin},
+		&Agg{Input: &Scan{Table: "items"}, GroupBy: []string{"mode"},
+			Aggs: []AggSpec{{Func: AggCount, Name: "c"}}},
+	} {
+		ec := &ExecCtx{Catalog: d.cat, Snapshot: d.cat.Snapshot(), Stats: &storage.ScanStats{},
+			Parallel: true, MaxWorkers: 4, Ctx: ctx}
+		if _, err := plan.Execute(ec); err == nil {
+			t.Fatalf("%T: cancelled execution returned no error", plan)
+		}
+	}
+}
+
+// TestWarmParallelPipelineAllocs guards the allocation count of the warm
+// morsel-parallel probe/agg path (pattern from the root kernel allocation
+// guard): a filter→join→agg pipeline over 20k rows at 4 workers costs a
+// fixed number of per-operator allocations (output columns, partial states,
+// group tables, goroutines) — roughly 200 — independent of row count. A
+// per-row or per-duplicate allocation on the probe or accumulate inner
+// loops blows the budget immediately.
+func TestWarmParallelPipelineAllocs(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 46)
+	plan := &Agg{
+		Input: &Join{
+			Left: &Filter{
+				Input: &Scan{Table: "items"},
+				Pred:  expr.Cmp("qty", expr.Ge, expr.Int(25)),
+			},
+			Right:    &Scan{Table: "dims"},
+			LeftKeys: []string{"dim_id"}, RightKeys: []string{"d_id"}, Type: InnerJoin,
+		},
+		GroupBy: []string{"d_cat"},
+		Aggs:    []AggSpec{{Func: AggCount, Name: "c"}, {Func: AggSum, Arg: expr.Col("price"), Name: "s"}},
+	}
+	run := func() {
+		ec := &ExecCtx{Catalog: d.cat, Snapshot: d.cat.Snapshot(), Stats: &storage.ScanStats{},
+			Parallel: true, MaxWorkers: 4}
+		if _, err := plan.Execute(ec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the scratch pools
+	}
+	const budget = 300
+	if got := testing.AllocsPerRun(20, run); got > budget {
+		t.Fatalf("warm parallel pipeline allocates %.1f/op, budget %d", got, budget)
+	}
+}
+
+// TestParallelStatsAccounting checks the morsel/worker counters flow into
+// ScanStats.
+func TestParallelStatsAccounting(t *testing.T) {
+	d := newTestDB(t, 20000, 40, 4, 45)
+	plan := &Agg{Input: &Scan{Table: "items"}, GroupBy: []string{"mode"},
+		Aggs: []AggSpec{{Func: AggSum, Arg: expr.Col("price"), Name: "s"}}}
+	stats := &storage.ScanStats{}
+	ec := &ExecCtx{Catalog: d.cat, Snapshot: d.cat.Snapshot(), Stats: stats, Parallel: true, MaxWorkers: 4}
+	if _, err := plan.Execute(ec); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Morsels.Load() == 0 {
+		t.Fatal("no morsels recorded")
+	}
+	if stats.WorkerNanos.Load() == 0 {
+		t.Fatal("no worker time recorded")
+	}
+}

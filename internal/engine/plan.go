@@ -27,8 +27,14 @@ type ExecCtx struct {
 	// cache events) when non-nil; the disabled path costs one nil check per
 	// instrumentation point.
 	Trace *obs.Trace
-	// Parallel enables per-slice goroutines in scans.
+	// Parallel enables per-slice goroutines in scans and morsel-parallel
+	// execution in the operators above them (join build/probe, aggregation).
 	Parallel bool
+	// MaxWorkers caps the worker goroutines a morsel-parallel operator may
+	// use. Zero means GOMAXPROCS. Serial (or Parallel off) forces one worker
+	// regardless; operators additionally never use more workers than they
+	// have morsels of input.
+	MaxWorkers int
 	// Serial forces single-sliced scans even when Parallel is set. DB.RunCtx
 	// defaults Parallel from the database configuration, so ablation callers
 	// that need a serial scan opt out here instead of relying on the zero

@@ -168,6 +168,124 @@ func (scr *scanScratch) markDecoded(ci int, res *sliceScanResult) {
 	}
 }
 
+// morselScratch owns the per-worker buffers of the morsel-parallel join and
+// aggregation paths: the selection vector one morsel's fused filters compact,
+// the chunked scalar-evaluation vectors, per-row group-state offsets and
+// partition ids, partition counters, and the composite-key encode buffer.
+// Like scanScratch, an instance is private to one worker goroutine from
+// acquire until release; steady-state warm executions allocate nothing here.
+type morselScratch struct {
+	sel    []int     // morsel selection vector (cap morselSize)
+	gidx   []int32   // per-selected-row group state offsets
+	pids   []uint8   // per-selected-row partition ids
+	ivec   []int64   // chunked integer scalar evaluation
+	fvec   []float64 // chunked float scalar evaluation
+	pcount []int32   // per-partition counts (counting-sort scatter)
+	pcur   []int32   // per-partition running cursors
+	key    []byte    // composite join/group key encoding
+}
+
+var morselScratchPool = sync.Pool{New: func() any {
+	scratchPoolNews.Add(1)
+	return &morselScratch{}
+}}
+
+// acquireMorselScratch draws a worker scratch from the pool. It shares the
+// scratchPoolGets/News counters with the scan scratch, so pc.runtime's
+// pool-efficiency signal covers both families.
+func acquireMorselScratch() *morselScratch {
+	scratchPoolGets.Add(1)
+	return morselScratchPool.Get().(*morselScratch)
+}
+
+// release returns the scratch to the pool. The caller must not retain any
+// slice handed out by the scratch (selection vectors, eval chunks, the key
+// buffer) past this point.
+//
+// pclint:recycled
+func (scr *morselScratch) release() {
+	morselScratchPool.Put(scr)
+}
+
+// identitySel fills the scratch selection vector with rows [lo, hi).
+//
+// pclint:allowalloc amortized one-time growth to morsel capacity; recycled
+// scratches reuse the buffer across every subsequent morsel.
+func (scr *morselScratch) identitySel(lo, hi int) []int {
+	n := hi - lo
+	if cap(scr.sel) < n {
+		scr.sel = make([]int, n)
+	}
+	sel := scr.sel[:n]
+	for i := range sel {
+		sel[i] = lo + i
+	}
+	return sel
+}
+
+// selFromInt32 widens a scattered int32 row segment into the scratch
+// selection vector (expr evaluation takes []int selections).
+//
+// pclint:allowalloc amortized one-time growth to morsel capacity; recycled
+// scratches reuse the buffer across every subsequent chunk.
+func (scr *morselScratch) selFromInt32(rows []int32) []int {
+	if cap(scr.sel) < len(rows) {
+		scr.sel = make([]int, len(rows))
+	}
+	sel := scr.sel[:len(rows)]
+	for i, r := range rows {
+		sel[i] = int(r)
+	}
+	return sel
+}
+
+// vecs returns the chunk evaluation vectors sized for n rows.
+//
+// pclint:allowalloc amortized growth to chunk capacity, recycled afterwards.
+func (scr *morselScratch) vecs(n int) ([]int64, []float64) {
+	if cap(scr.ivec) < n {
+		scr.ivec = make([]int64, n)
+		scr.fvec = make([]float64, n)
+	}
+	return scr.ivec[:n], scr.fvec[:n]
+}
+
+// groupIdx returns the per-row group-offset vector sized for n rows.
+//
+// pclint:allowalloc amortized growth to chunk capacity, recycled afterwards.
+func (scr *morselScratch) groupIdx(n int) []int32 {
+	if cap(scr.gidx) < n {
+		scr.gidx = make([]int32, n)
+	}
+	return scr.gidx[:n]
+}
+
+// partIds returns the per-row partition-id vector sized for n rows.
+//
+// pclint:allowalloc amortized growth to chunk capacity, recycled afterwards.
+func (scr *morselScratch) partIds(n int) []uint8 {
+	if cap(scr.pids) < n {
+		scr.pids = make([]uint8, n)
+	}
+	return scr.pids[:n]
+}
+
+// partCounters returns zeroed per-partition count and cursor vectors.
+//
+// pclint:allowalloc amortized growth to the partition fan-out (≤ 64).
+func (scr *morselScratch) partCounters(p int) (count, cur []int32) {
+	if cap(scr.pcount) < p {
+		scr.pcount = make([]int32, p)
+		scr.pcur = make([]int32, p)
+	}
+	count, cur = scr.pcount[:p], scr.pcur[:p]
+	for i := range count {
+		count[i] = 0
+		cur[i] = 0
+	}
+	return count, cur
+}
+
 // growInts extends dst by n values without a temporary allocation and
 // returns the grown slice; the new values occupy dst[len(dst)-n:].
 //

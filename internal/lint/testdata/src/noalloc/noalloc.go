@@ -95,3 +95,58 @@ func badHandoff(tr *trace, r *traceRing) {
 	out = append(out, dup...) // want — append to nil-started slice
 	r.slots[r.head] = out
 }
+
+// The shapes below mirror the morsel-parallel probe loop: a worker probes
+// one morsel of rows against a shared chained hash table, appending matches
+// into pre-sized per-morsel buffers and keyed lookups into a map indexed by
+// a scratch byte key.
+
+type morselTable struct {
+	idx   map[string]int32
+	heads []int32
+	next  []int32
+}
+
+type workerScratch struct {
+	key   []byte
+	probe []int32
+}
+
+// probeHot is the morsel probe shape: chain walks, map lookups via
+// string(b) conversion at the index expression (compiled allocation-free,
+// suppressed with a line-level allow), and appends into the worker's
+// pre-sized match buffer — all without per-row allocation.
+// pclint:noalloc
+func probeHot(t *morselTable, scr *workerScratch, rows []int32) int {
+	matches := 0
+	for _, row := range rows {
+		scr.key = scr.key[:0]
+		scr.key = append(scr.key, byte(row)) // ok: amortized into caller-owned scratch
+		ci, ok := t.idx[string(scr.key)]     // pclint:allow noalloc: map index with string(b) does not allocate
+		if !ok {
+			continue
+		}
+		for r := t.heads[ci]; r >= 0; r = t.next[r] {
+			scr.probe = append(scr.probe, r) // ok: amortized into caller-owned scratch
+			matches++
+		}
+	}
+	return matches
+}
+
+// probeBad materializes a string key per probe row and boxes the match
+// count; both per-row allocations must be flagged.
+// pclint:noalloc
+func probeBad(t *morselTable, scr *workerScratch, rows []int32) int {
+	matches := 0
+	for _, row := range rows {
+		scr.key = scr.key[:0]
+		scr.key = append(scr.key, byte(row))
+		k := string(scr.key) // want — []byte to string conversion
+		if _, ok := t.idx[k]; ok {
+			matches++
+		}
+	}
+	sink(matches) // want — boxing int into any
+	return matches
+}

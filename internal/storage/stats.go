@@ -26,6 +26,12 @@ type ScanStats struct {
 	BlocksDecoded atomic.Int64
 	BlocksKernel  atomic.Int64
 	RowsDecoded   atomic.Int64
+	// Morsel-parallel operator counters: morsels claimed by join/aggregation
+	// workers and their summed busy time. WorkerNanos vs. query wall time is
+	// the parallel-efficiency signal (cpu ≈ wall means the query ran serial;
+	// cpu ≈ W×wall means W workers stayed busy).
+	Morsels     atomic.Int64
+	WorkerNanos atomic.Int64
 }
 
 // Add merges other into s.
@@ -40,6 +46,8 @@ func (s *ScanStats) Add(other *ScanStats) {
 	s.BlocksDecoded.Add(other.BlocksDecoded.Load())
 	s.BlocksKernel.Add(other.BlocksKernel.Load())
 	s.RowsDecoded.Add(other.RowsDecoded.Load())
+	s.Morsels.Add(other.Morsels.Load())
+	s.WorkerNanos.Add(other.WorkerNanos.Load())
 }
 
 // Snapshot returns a plain-struct copy for reporting.
@@ -55,6 +63,8 @@ func (s *ScanStats) Snapshot() ScanStatsSnapshot {
 		BlocksDecoded:     s.BlocksDecoded.Load(),
 		BlocksKernel:      s.BlocksKernel.Load(),
 		RowsDecoded:       s.RowsDecoded.Load(),
+		Morsels:           s.Morsels.Load(),
+		WorkerNanos:       s.WorkerNanos.Load(),
 	}
 }
 
@@ -70,4 +80,6 @@ type ScanStatsSnapshot struct {
 	BlocksDecoded     int64
 	BlocksKernel      int64
 	RowsDecoded       int64
+	Morsels           int64
+	WorkerNanos       int64
 }

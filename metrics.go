@@ -28,6 +28,8 @@ type queryMetrics struct {
 	blocksCache    *obs.Counter
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
+	morsels        *obs.Counter
+	workerMicros   *obs.Counter
 }
 
 // EnableMetrics registers the database's instruments on m and starts feeding
@@ -49,6 +51,8 @@ func (db *DB) EnableMetrics(m *obs.Metrics) {
 		blocksCache:    m.NewCounter("predcache_blocks_pruned_cache_total", "Row blocks excluded by predicate-cache hits."),
 		cacheHits:      m.NewCounter("predcache_scan_cache_hits_total", "Scans served from a predicate-cache entry."),
 		cacheMisses:    m.NewCounter("predcache_scan_cache_misses_total", "Scans that missed the predicate cache."),
+		morsels:        m.NewCounter("predcache_morsels_total", "Morsels claimed by parallel join/aggregation workers."),
+		workerMicros:   m.NewCounter("predcache_parallel_worker_micros_total", "Summed busy time of morsel-parallel workers in microseconds."),
 	}
 	m.NewGauge("predcache_tables", "Tables in the catalog.", func() float64 {
 		return float64(len(db.cat.TableNames()))
@@ -105,4 +109,6 @@ func (qm *queryMetrics) record(d time.Duration, snap storage.ScanStatsSnapshot, 
 	qm.blocksCache.Add(snap.BlocksPrunedCache)
 	qm.cacheHits.Add(snap.CacheHits)
 	qm.cacheMisses.Add(snap.CacheMisses)
+	qm.morsels.Add(snap.Morsels)
+	qm.workerMicros.Add(snap.WorkerNanos / 1e3)
 }

@@ -81,11 +81,12 @@ func NewBatch(schema Schema) *Batch { return storage.NewBatch(schema) }
 // DB is an embedded analytical database with a predicate cache.
 type DB struct {
 	mu sync.Mutex
-	// cat, cache, slices and parallel are immutable after Open.
-	cat      *storage.Catalog
-	cache    *core.Cache
-	slices   int
-	parallel bool
+	// cat, cache, slices, parallel and maxWorkers are immutable after Open.
+	cat        *storage.Catalog
+	cache      *core.Cache
+	slices     int
+	parallel   bool
+	maxWorkers int
 	last     storage.ScanStatsSnapshot // guarded by mu
 
 	// metrics is nil until EnableMetrics installs the registered instruments;
@@ -153,9 +154,17 @@ func WithSlices(n int) Option {
 	return func(db *DB) { db.slices = n }
 }
 
-// WithParallelScans toggles per-slice scan goroutines (default on).
+// WithParallelScans toggles per-slice scan goroutines and morsel-parallel
+// join/aggregation execution (default on).
 func WithParallelScans(v bool) Option {
 	return func(db *DB) { db.parallel = v }
+}
+
+// WithMaxWorkers caps the worker goroutines a morsel-parallel operator
+// (join build/probe, aggregation) may use per query. Zero — the default —
+// means GOMAXPROCS.
+func WithMaxWorkers(n int) Option {
+	return func(db *DB) { db.maxWorkers = n }
 }
 
 // WithMetrics registers the database's instruments on m at Open (see
@@ -708,11 +717,12 @@ func (db *DB) recordFailed(meta queryMeta, err error) {
 // execCtx builds the default execution context Run and Query share.
 func (db *DB) execCtx() *engine.ExecCtx {
 	return &engine.ExecCtx{
-		Catalog:  db.cat,
-		Cache:    db.cache,
-		Snapshot: db.cat.Snapshot(),
-		Stats:    &storage.ScanStats{},
-		Parallel: db.parallel,
+		Catalog:    db.cat,
+		Cache:      db.cache,
+		Snapshot:   db.cat.Snapshot(),
+		Stats:      &storage.ScanStats{},
+		Parallel:   db.parallel,
+		MaxWorkers: db.maxWorkers,
 	}
 }
 
@@ -852,6 +862,9 @@ func (db *DB) RunCtx(node engine.Node, ec *engine.ExecCtx) (*Result, error) {
 	}
 	if !ec.Parallel && !ec.Serial {
 		ec.Parallel = db.parallel
+	}
+	if ec.MaxWorkers == 0 {
+		ec.MaxWorkers = db.maxWorkers
 	}
 	return db.runInternal(node, ec, queryMeta{})
 }

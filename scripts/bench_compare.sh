@@ -14,12 +14,22 @@
 #
 # Recordings are plain JSON; keep them committed so future PRs inherit a
 # baseline (EXPERIMENTS.md documents how to read them).
+#
+# Before recording, the script runs the Table4TPCHSkewed benchmark at
+# -cpu 1,4 and the engine's serial-vs-parallel equivalence tests; any result
+# divergence between the serial and morsel-parallel operators aborts the
+# recording, so a committed baseline always reflects correct plans.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ $# -eq 2 ]; then
     exec go run ./cmd/pcbench -compare "$1,$2"
 fi
+
+# Guard: morsel-parallel plans must match serial plans bit-exactly before a
+# recording is worth keeping (same checks as `make bench-smoke`).
+go test -run=NONE -bench=BenchmarkTable4TPCHSkewed -benchtime=1x -cpu 1,4 .
+go test -run 'TestJoinParallelSerialIdentical|TestAggParallelSerialIdentical' -cpu 1,4 ./internal/engine
 
 if [ $# -eq 1 ]; then
     out="BENCH_$1.json"
