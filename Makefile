@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke trace-smoke server-smoke bench-smoke check clean
+.PHONY: all build test race stress test-debug vet lint lint-sarif smoke systab-smoke trace-smoke server-smoke profile-smoke bench-smoke check clean
 
 all: build
 
@@ -72,6 +72,14 @@ trace-smoke:
 server-smoke:
 	./scripts/server_smoke.sh
 
+# End-to-end attribution check: boots pcserver with an admin endpoint, a 1ms
+# slow threshold and a profile directory, then asserts pc.query_shapes
+# aggregates attributed CPU, /profile/cpu captured under load carries the
+# query_id/shape pprof labels, a slow query leaves a rate-limited profile on
+# disk, and /profile/heap parses.
+profile-smoke:
+	./scripts/profile_smoke.sh
+
 # One-iteration compile-and-run of the scan benchmarks: catches bit-rot in
 # the benchmark harness without paying full measurement time. The Table4
 # run exercises the morsel-parallel join/agg path at 1 and 4 procs, and the
@@ -83,7 +91,7 @@ bench-smoke:
 	$(GO) test -run 'TestJoinParallelSerialIdentical|TestAggParallelSerialIdentical' -cpu 1,4 ./internal/engine
 
 # Everything CI runs.
-check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke server-smoke
+check: build vet lint test race stress test-debug bench-smoke smoke systab-smoke trace-smoke server-smoke profile-smoke
 
 clean:
 	$(GO) clean ./...

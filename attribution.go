@@ -1,0 +1,105 @@
+package predcache
+
+import (
+	"context"
+	"strconv"
+
+	"github.com/predcache/predcache/internal/obs"
+)
+
+// Per-query resource attribution (DESIGN.md §16): every SQL-originated
+// execution runs under pprof goroutine labels (query_id, shape, session),
+// measures its CPU and allocation footprint, and folds the result into the
+// pc.query_shapes heavy-hitter ledger. The leak sentinels ride the runtime
+// sampler (StartRuntimeSampler) and surface transitions as pc.alerts.
+
+// Re-exported attribution types.
+type (
+	// ShapeRow is one pc.query_shapes row: a shape's resource ledger.
+	ShapeRow = obs.ShapeRow
+	// Alert is one pc.alerts row: a leak-sentinel transition.
+	Alert = obs.Alert
+	// SentinelConfig sets the leak-sentinel thresholds for
+	// WithSentinelConfig (zero fields keep their defaults).
+	SentinelConfig = obs.SentinelConfig
+)
+
+// Sentinel names appearing in pc.alerts.sentinel.
+const (
+	SentinelGoroutines = obs.SentinelGoroutines
+	SentinelHeap       = obs.SentinelHeap
+	SentinelPoolChurn  = obs.SentinelPoolChurn
+)
+
+// WithQueryShapeCapacity bounds the pc.query_shapes ledger to n shapes
+// (0 keeps the default, obs.DefaultShapeCapacity). When full, observing a
+// new shape evicts the retained shape with the least total CPU.
+func WithQueryShapeCapacity(n int) Option {
+	return func(db *DB) { db.shapeCap = n }
+}
+
+// WithSentinelConfig overrides the leak-sentinel thresholds evaluated by the
+// runtime sampler (zero fields keep their defaults). The sentinels only run
+// while StartRuntimeSampler is active.
+func WithSentinelConfig(cfg SentinelConfig) Option {
+	return func(db *DB) { db.sentinelCfg = cfg }
+}
+
+// WithProfileCapture enables automatic, rate-limited CPU profile capture on
+// slow queries: profiles land in dir as cpu-NNN-q<seq>.pprof and carry the
+// query_id/shape/session labels. An unusable directory logs an error at Open
+// and disables capture rather than failing.
+func WithProfileCapture(dir string) Option {
+	return func(db *DB) { db.profileDir = dir }
+}
+
+// QueryShapes returns the per-shape resource ledger ranked by total
+// attributed CPU, heaviest first — the same rows served by pc.query_shapes.
+func (db *DB) QueryShapes() []ShapeRow {
+	return db.shapes.Snapshot()
+}
+
+// Alerts returns the retained leak-sentinel transitions, oldest first — the
+// same rows served by pc.alerts.
+func (db *DB) Alerts() []Alert {
+	return db.alerts.Alerts()
+}
+
+// LastRuntimeSample returns the most recent retained health sample (zero
+// value when no sampler has run) without triggering a fresh ReadMemStats —
+// the accessor metric scrapes are routed through.
+func (db *DB) LastRuntimeSample() RuntimeSample {
+	return db.runtime.Load().Last()
+}
+
+// sessionKey is the context key ContextWithSession stores the session label
+// under.
+type sessionKey struct{}
+
+// ContextWithSession returns a context whose queries are attributed to the
+// given session label (the network server stamps "s<id>" per connection).
+// The label appears as the session pprof label and is bounded-cardinality by
+// construction: one value per connection, not per query.
+func ContextWithSession(ctx context.Context, session string) context.Context {
+	return context.WithValue(ctx, sessionKey{}, session)
+}
+
+// sessionFromCtx extracts the session label ("" when none).
+func sessionFromCtx(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	if s, ok := ctx.Value(sessionKey{}).(string); ok {
+		return s
+	}
+	return ""
+}
+
+// queryIDLabel renders the query_id pprof label for a reserved sequence
+// number ("q17"); unreserved executions (query logging disabled) are "q-".
+func queryIDLabel(seq int64) string {
+	if seq < 0 {
+		return "q-"
+	}
+	return "q" + strconv.FormatInt(seq, 10)
+}

@@ -63,7 +63,12 @@ func main() {
 	}
 	if *metricsAddr != "" {
 		m := obs.NewMetrics()
-		obs.RegisterRuntimeMetrics(m)
+		// Runtime gauges read a sampler's retained sample (never ReadMemStats
+		// at scrape time); pcbench runs its own collector since experiments
+		// cycle through many short-lived databases.
+		rc := obs.StartRuntimeCollector(0, nil)
+		defer rc.Stop()
+		obs.RegisterRuntimeMetrics(m, rc.Last)
 		srv, err := obs.StartServer(*metricsAddr, m)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
@@ -123,9 +128,8 @@ func compareRecordings(spec string) error {
 		return err
 	}
 	report, err := bench.CompareMicroJSON(oldData, newData)
-	if err != nil {
-		return err
-	}
+	// A regression still comes with a rendered report: print it first so the
+	// failing run shows which benchmark moved, then exit non-zero.
 	fmt.Print(report)
-	return nil
+	return err
 }

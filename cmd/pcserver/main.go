@@ -17,8 +17,11 @@
 //	select count(*) from lineitem where l_quantity < 10
 //
 // -admin serves /metrics (Prometheus), /metrics.json, /debug/pprof/,
-// /sessions and /stats. Live sessions are also SQL-queryable by any client
-// as pc.sessions, and the plan cache as pc.plan_cache.
+// /profile/cpu, /profile/heap, /sessions and /stats. Live sessions are also
+// SQL-queryable by any client as pc.sessions, the plan cache as
+// pc.plan_cache, and per-shape resource attribution as pc.query_shapes.
+// -profile-dir additionally captures rate-limited CPU profiles whenever a
+// query crosses the slow threshold.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight statements finish (up to the
 // drain timeout), new ones are refused.
@@ -55,12 +58,16 @@ func main() {
 	slow := flag.Duration("slow", 0, "slow-query threshold (0 keeps the default)")
 	logPath := flag.String("log", "", `write structured JSON log lines to this file ("-" for stderr); empty disables`)
 	workers := flag.Int("workers", 0, "max morsel-parallel workers per query (0 = GOMAXPROCS)")
+	profileDir := flag.String("profile-dir", "", "capture rate-limited CPU profiles of slow queries into this directory; empty disables")
 	flag.Parse()
 
 	var opts []predcache.Option
 	var logger *obs.Logger
 	if *slow > 0 {
 		opts = append(opts, predcache.WithSlowQueryThreshold(*slow))
+	}
+	if *profileDir != "" {
+		opts = append(opts, predcache.WithProfileCapture(*profileDir))
 	}
 	if *workers > 0 {
 		opts = append(opts, predcache.WithMaxWorkers(*workers))
@@ -90,6 +97,9 @@ func main() {
 		os.Exit(2)
 	}
 	db := predcache.Open(opts...)
+	// Health sampling feeds pc.runtime, the leak sentinels (pc.alerts) and
+	// the admin endpoint's go_* gauges for the life of the server.
+	db.StartRuntimeSampler(time.Second)
 
 	fmt.Printf("loading %s at SF %.3f...\n", *dataset, *sf)
 	if err := load(db, *dataset, *sf, *seed); err != nil {

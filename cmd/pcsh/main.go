@@ -25,15 +25,16 @@
 //	\storage        per-column storage breakdown from pc.table_storage
 //	\trace [id]     list retained traces from pc.traces, or render trace id's span tree
 //	\slo            latency percentiles per query class from pc.slo
+//	\top            heaviest query shapes by attributed CPU from pc.query_shapes
 //	\explain <sql>  show the plan without executing
 //	\tables         list tables
 //	\q              quit
 //
 // The same telemetry is SQL-queryable as system tables under the reserved
 // pc schema: pc.query_log, pc.cache_entries, pc.cache_stats,
-// pc.table_storage, pc.metrics, pc.traces, pc.trace_spans, pc.slo and
-// pc.runtime all join against user tables — e.g. find the slowest retained
-// trace's spans with
+// pc.table_storage, pc.metrics, pc.traces, pc.trace_spans, pc.slo,
+// pc.runtime, pc.query_shapes and pc.alerts all join against user tables —
+// e.g. find the slowest retained trace's spans with
 //
 //	SELECT s.name, s.dur_us FROM pc.trace_spans s, pc.traces t
 //	WHERE s.trace_id = t.trace_id AND t.reason = 'slow'
@@ -99,7 +100,11 @@ func main() {
 	if *metricsAddr != "" {
 		m := obs.NewMetrics()
 		db.EnableMetrics(m)
-		obs.RegisterRuntimeMetrics(m)
+		// The go_* gauges read the runtime sampler's retained sample, so a
+		// scrape never pays a ReadMemStats; the sampler also feeds pc.runtime,
+		// pc.alerts (leak sentinels) and the shell's uptime telemetry.
+		db.StartRuntimeSampler(time.Second)
+		obs.RegisterRuntimeMetrics(m, db.LastRuntimeSample)
 		srv, err := obs.StartServer(*metricsAddr, m)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcsh: %v\n", err)
@@ -172,6 +177,10 @@ func main() {
 			continue
 		case `\slo`:
 			runMeta(db, "select query_class, cache_outcome, sample_count, p50_us, p99_us, p999_us, max_us, exemplar_trace_id from pc.slo")
+			prompt()
+			continue
+		case `\top`:
+			runMeta(db, "select shape_id, calls, cpu_us, p99_cpu_us, allocs, cache_hit_rate, shape_text from pc.query_shapes order by cpu_us desc limit 20")
 			prompt()
 			continue
 		}

@@ -32,6 +32,12 @@ type MicroResult struct {
 	BlocksAccessed      int64   `json:"blocks_accessed"`
 	BlocksPrunedZoneMap int64   `json:"blocks_pruned_zonemap"`
 	BlocksPrunedCache   int64   `json:"blocks_pruned_cache"`
+	// CPUMicros and AllocsPerQuery come from the attribution probe: one
+	// SQL execution of the case's probe query after the timing loop, read
+	// back from pc.query_log, so the recording tracks the resource
+	// trajectory (attributed CPU, allocation count) and not just wall time.
+	CPUMicros      int64 `json:"cpu_us"`
+	AllocsPerQuery int64 `json:"allocs_per_query"`
 }
 
 // microBenchDB builds the clustered single-table database the scan
@@ -72,12 +78,17 @@ type microCase struct {
 	// setup returns the per-iteration body plus the db used (for the
 	// rows-scanned probe).
 	setup func() (func() error, *predcache.DB, error)
+	// probe is the SQL statement used to sample per-query attribution
+	// (cpu_us, allocs) from pc.query_log. The timed body runs a hand-built
+	// plan, which intentionally records nothing — so attribution needs one
+	// SQL execution through the full query path. Empty means no probe.
+	probe string
 }
 
 func microCases() []microCase {
 	const rows = 400000
 	return []microCase{
-		{name: "ScanCold", setup: func() (func() error, *predcache.DB, error) {
+		{name: "ScanCold", probe: microScanQuery, setup: func() (func() error, *predcache.DB, error) {
 			db, err := microBenchDB(rows)
 			if err != nil {
 				return nil, nil, err
@@ -92,7 +103,7 @@ func microCases() []microCase {
 				return err
 			}, db, nil
 		}},
-		{name: "ScanWarm", setup: func() (func() error, *predcache.DB, error) {
+		{name: "ScanWarm", probe: microScanQuery, setup: func() (func() error, *predcache.DB, error) {
 			db, err := microBenchDB(rows)
 			if err != nil {
 				return nil, nil, err
@@ -109,7 +120,7 @@ func microCases() []microCase {
 				return err
 			}, db, nil
 		}},
-		{name: "ScanWarmPoint", setup: func() (func() error, *predcache.DB, error) {
+		{name: "ScanWarmPoint", probe: microPointQuery, setup: func() (func() error, *predcache.DB, error) {
 			db, err := microBenchDB(rows)
 			if err != nil {
 				return nil, nil, err
@@ -126,7 +137,7 @@ func microCases() []microCase {
 				return err
 			}, db, nil
 		}},
-		{name: "ScanNoCache", setup: func() (func() error, *predcache.DB, error) {
+		{name: "ScanNoCache", probe: microScanQuery, setup: func() (func() error, *predcache.DB, error) {
 			db, err := microBenchDB(rows, predcache.WithoutPredicateCache())
 			if err != nil {
 				return nil, nil, err
@@ -192,6 +203,18 @@ func RunMicro(progress io.Writer) ([]MicroResult, error) {
 					res.CacheHitRate = float64(s.CacheHits) / float64(lookups)
 				}
 			}
+			if mc.probe != "" {
+				// One attributed execution through the SQL path: the timed
+				// body uses db.Run, which skips per-query attribution, so
+				// cpu_us/allocs come from the query log of this probe.
+				if _, err := db.Query(mc.probe); err == nil {
+					if log := db.QueryLog(); len(log) > 0 {
+						rec := log[len(log)-1]
+						res.CPUMicros = rec.CPUMicros
+						res.AllocsPerQuery = rec.AllocObjects
+					}
+				}
+			}
 		}
 		out = append(out, res)
 		if progress != nil {
@@ -225,8 +248,29 @@ func WriteMicroJSON(w io.Writer, results []MicroResult) error {
 	return err
 }
 
+// allocSlackRatio and allocSlackAbs bound how much allocs_per_op (and the
+// attributed allocs_per_query) may grow before a compare is treated as a
+// regression: new > old*1.10 + 16 fails.
+const (
+	allocSlackRatio = 1.10
+	allocSlackAbs   = 16
+)
+
+// allocRegressed reports whether a new allocation count exceeds the old one
+// beyond slack. Zero/absent old values never fail (new benchmarks, or
+// recordings made before the field existed).
+func allocRegressed(old, new int64) bool {
+	if old <= 0 {
+		return false
+	}
+	return float64(new) > float64(old)*allocSlackRatio+allocSlackAbs
+}
+
 // CompareMicroJSON reads two recordings produced by WriteMicroJSON and
-// renders a per-benchmark delta table (new vs old).
+// renders a per-benchmark delta table (new vs old). When any benchmark's
+// allocation count regresses beyond slack, the rendered report is still
+// returned alongside a non-nil error naming the offenders, so callers can
+// print the table and fail.
 func CompareMicroJSON(oldData, newData []byte) (string, error) {
 	var oldRes, newRes []MicroResult
 	if err := json.Unmarshal(oldData, &oldRes); err != nil {
@@ -246,21 +290,35 @@ func CompareMicroJSON(oldData, newData []byte) (string, error) {
 		names = append(names, r.Name)
 	}
 	sort.Strings(names)
+	var regressions []string
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old->new")
+	fmt.Fprintf(&b, "%-20s %14s %14s %8s %18s %16s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs old->new", "cpu_us old->new")
 	for _, name := range names {
 		n := newBy[name]
 		o, ok := oldBy[name]
 		if !ok {
-			fmt.Fprintf(&b, "%-20s %14s %14.0f %8s %9s->%d\n", name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp)
+			fmt.Fprintf(&b, "%-20s %14s %14.0f %8s %9s->%-7d %7s->%d\n",
+				name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "-", n.CPUMicros)
 			continue
 		}
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
 		}
-		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %+7.1f%% %9d->%d\n",
-			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+		fmt.Fprintf(&b, "%-20s %14.0f %14.0f %+7.1f%% %9d->%-7d %7d->%d\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp, o.CPUMicros, n.CPUMicros)
+		if allocRegressed(o.AllocsPerOp, n.AllocsPerOp) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/op %d->%d", name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+		if allocRegressed(o.AllocsPerQuery, n.AllocsPerQuery) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/query %d->%d", name, o.AllocsPerQuery, n.AllocsPerQuery))
+		}
+	}
+	if len(regressions) > 0 {
+		return b.String(), fmt.Errorf("bench: allocation regression: %s", strings.Join(regressions, "; "))
 	}
 	return b.String(), nil
 }

@@ -42,3 +42,62 @@ func TestMicroJSONCarriesCacheBreakdown(t *testing.T) {
 		t.Fatalf("compare output:\n%s", out)
 	}
 }
+
+func TestMicroJSONCarriesAttribution(t *testing.T) {
+	results := []MicroResult{{
+		Name: "ScanWarm", Iterations: 10, NsPerOp: 1000, AllocsPerOp: 37,
+		CPUMicros: 850, AllocsPerQuery: 60,
+	}}
+	var buf bytes.Buffer
+	if err := WriteMicroJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"cpu_us":850`, `"allocs_per_query":60`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("recording missing %q:\n%s", key, buf.String())
+		}
+	}
+	var back []MicroResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].CPUMicros != 850 || back[0].AllocsPerQuery != 60 {
+		t.Fatalf("round-trip lost attribution: %+v", back[0])
+	}
+}
+
+func TestCompareMicroJSONFailsOnAllocRegression(t *testing.T) {
+	old := `[{"name":"ScanWarm","ns_per_op":1000,"allocs_per_op":100,"allocs_per_query":50}]`
+
+	// Within slack: 100 -> 110 is exactly old*1.10, not a regression.
+	ok := `[{"name":"ScanWarm","ns_per_op":1000,"allocs_per_op":110,"allocs_per_query":50}]`
+	if out, err := CompareMicroJSON([]byte(old), []byte(ok)); err != nil {
+		t.Fatalf("within-slack compare failed: %v\n%s", err, out)
+	}
+
+	// allocs/op regression: 100 -> 200 blows past old*1.10+16.
+	bad := `[{"name":"ScanWarm","ns_per_op":1000,"allocs_per_op":200,"allocs_per_query":50}]`
+	out, err := CompareMicroJSON([]byte(old), []byte(bad))
+	if err == nil {
+		t.Fatalf("allocs/op regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "ScanWarm") || !strings.Contains(err.Error(), "100->200") {
+		t.Fatalf("regression error lacks detail: %v", err)
+	}
+	if !strings.Contains(out, "ScanWarm") {
+		t.Fatalf("regression must still render the report:\n%s", out)
+	}
+
+	// allocs_per_query regression is caught independently.
+	badQ := `[{"name":"ScanWarm","ns_per_op":1000,"allocs_per_op":100,"allocs_per_query":500}]`
+	if out, err := CompareMicroJSON([]byte(old), []byte(badQ)); err == nil {
+		t.Fatalf("allocs_per_query regression not flagged:\n%s", out)
+	}
+
+	// A brand-new benchmark (no old baseline) never fails.
+	newOnly := `[{"name":"ScanWarm","ns_per_op":1000,"allocs_per_op":100,"allocs_per_query":50},
+	             {"name":"Fresh","ns_per_op":1,"allocs_per_op":9999,"allocs_per_query":9999}]`
+	if out, err := CompareMicroJSON([]byte(old), []byte(newOnly)); err != nil {
+		t.Fatalf("new benchmark treated as regression: %v\n%s", err, out)
+	}
+}

@@ -433,7 +433,7 @@ func (a *Agg) runGlobal(ec *ExecCtx, baggs []*boundAgg, bounds []expr.Bound, ctx
 	nA := len(baggs)
 	partials := make([]aggState, nm*nA)
 	cur := &morselCursor{rows: n}
-	cpu, err := runWorkers(pa.workers, func(int) error {
+	cpu, extra, err := runWorkers(pa.workers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
@@ -454,6 +454,7 @@ func (a *Agg) runGlobal(ec *ExecCtx, baggs []*boundAgg, bounds []expr.Bound, ctx
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +472,7 @@ func (a *Agg) runGlobal(ec *ExecCtx, baggs []*boundAgg, bounds []expr.Bound, ctx
 func (a *Agg) runGroupedSerial(ec *ExecCtx, groupCols []*RelCol, baggs []*boundAgg, bounds []expr.Bound, ctx *expr.BlockCtx, n int, pa *parAccounting) ([]finalGroup, error) {
 	t := newAggTable(groupCols, len(baggs))
 	cur := &morselCursor{rows: n}
-	cpu, err := runWorkers(1, func(int) error {
+	cpu, extra, err := runWorkers(1, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		return forEachMorsel(ec, cur, func(_, lo, hi int) error {
@@ -483,6 +484,7 @@ func (a *Agg) runGroupedSerial(ec *ExecCtx, groupCols []*RelCol, baggs []*boundA
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +506,7 @@ func (a *Agg) runGroupedParallel(ec *ExecCtx, groupCols []*RelCol, baggs []*boun
 	moffs := make([]int32, nm*(nP+1))  // per-morsel partition offsets into its segment
 
 	cur := &morselCursor{rows: n}
-	cpu, err := runWorkers(pa.workers, func(int) error {
+	cpu, extra, err := runWorkers(pa.workers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
@@ -532,13 +534,14 @@ func (a *Agg) runGroupedParallel(ec *ExecCtx, groupCols []*RelCol, baggs []*boun
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	if err != nil {
 		return nil, err
 	}
 
 	tables := make([]*aggTable, nP)
 	var pcur atomic.Int64
-	cpu, err = runWorkers(pa.workers, func(int) error {
+	cpu, extra, err = runWorkers(pa.workers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		for {
@@ -566,6 +569,7 @@ func (a *Agg) runGroupedParallel(ec *ExecCtx, groupCols []*RelCol, baggs []*boun
 		}
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	if err != nil {
 		return nil, err
 	}

@@ -197,7 +197,7 @@ func buildJoinTable(ec *ExecCtx, rel *Relation, enc *joinKeyEncoder, workers int
 	// Pass 1: each row's partition, morsel-parallel.
 	partOf := make([]uint8, n)
 	cur := &morselCursor{rows: n}
-	cpu, err := runWorkers(workers, func(int) error {
+	cpu, extra, err := runWorkers(workers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		return forEachMorsel(ec, cur, func(_, lo, hi int) error {
@@ -215,6 +215,7 @@ func buildJoinTable(ec *ExecCtx, rel *Relation, enc *joinKeyEncoder, workers int
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	pa.morsels += numMorsels(n)
 	if err != nil {
 		return nil, err
@@ -224,7 +225,7 @@ func buildJoinTable(ec *ExecCtx, rel *Relation, enc *joinKeyEncoder, workers int
 	// ascending row order (scanning the byte-sized partition map is cheap
 	// next to the hash inserts it feeds).
 	var pcur atomic.Int64
-	cpu, err = runWorkers(workers, func(int) error {
+	cpu, extra, err = runWorkers(workers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		for {
@@ -257,6 +258,7 @@ func buildJoinTable(ec *ExecCtx, rel *Relation, enc *joinKeyEncoder, workers int
 		}
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	return jt, err
 }
 
@@ -481,7 +483,7 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	needBuild := j.Type == InnerJoin || j.Type == LeftOuterJoin
 	outs := make([]joinMorselOut, nm)
 	cur := &morselCursor{rows: pn}
-	cpu, err := runWorkers(probeWorkers, func(int) error {
+	cpu, extra, err := runWorkers(probeWorkers, func(int) error {
 		scr := acquireMorselScratch()
 		defer scr.release()
 		return forEachMorsel(ec, cur, func(m, lo, hi int) error {
@@ -494,6 +496,7 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	pa.morsels += nm
 	if err != nil {
 		return nil, err
@@ -540,7 +543,7 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 	}
 
 	acur := &morselCursor{rows: pn}
-	cpu, err = runWorkers(probeWorkers, func(int) error {
+	cpu, extra, err = runWorkers(probeWorkers, func(int) error {
 		return forEachMorsel(ec, acur, func(m, _, _ int) error {
 			out := &outs[m]
 			if len(out.probe) == 0 {
@@ -553,6 +556,7 @@ func (j *Join) Execute(ec *ExecCtx) (rel *Relation, err error) {
 		})
 	})
 	pa.cpu += cpu
+	pa.extra += extra
 	pa.morsels += nm
 	if err != nil {
 		return nil, err

@@ -89,15 +89,22 @@ func forEachMorsel(ec *ExecCtx, cur *morselCursor, fn func(m, lo, hi int) error)
 }
 
 // runWorkers runs fn(w) on workers goroutines (inline, without spawning,
-// when workers == 1), returning the summed per-worker busy time and the
-// first error. Busy time vs the caller's wall time is the EXPLAIN ANALYZE
-// parallel-efficiency signal.
-func runWorkers(workers int, fn func(w int) error) (time.Duration, error) {
+// when workers == 1), returning the summed per-worker busy time, the busy
+// time beyond the coordinator's wall-clock wait (extra = busy − elapsed,
+// min 0), and the first error. Busy time vs the caller's wall time is the
+// EXPLAIN ANALYZE parallel-efficiency signal; the extra term is what the
+// resource-attribution layer adds to query wall time to get attributed CPU —
+// the coordinator's blocked wait is already inside the wall, so only the
+// surplus the spawned workers contributed is added. Worker goroutines
+// inherit the caller's pprof label set, so CPU samples taken inside fn carry
+// the query's query_id/shape/session labels.
+func runWorkers(workers int, fn func(w int) error) (cpu, extra time.Duration, err error) {
 	if workers <= 1 {
 		start := time.Now()
 		err := fn(0)
-		return time.Since(start), err
+		return time.Since(start), 0, err
 	}
+	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	busy := make([]time.Duration, workers)
@@ -111,16 +118,19 @@ func runWorkers(workers int, fn func(w int) error) (time.Duration, error) {
 		}(w)
 	}
 	wg.Wait()
-	var cpu time.Duration
+	elapsed := time.Since(start)
 	for _, d := range busy {
 		cpu += d
 	}
-	for _, err := range errs {
-		if err != nil {
-			return cpu, err
+	if cpu > elapsed {
+		extra = cpu - elapsed
+	}
+	for _, e := range errs {
+		if e != nil {
+			return cpu, extra, e
 		}
 	}
-	return cpu, nil
+	return cpu, extra, nil
 }
 
 // parAccounting accumulates one operator's parallel-execution counters
@@ -129,6 +139,9 @@ type parAccounting struct {
 	workers int
 	morsels int
 	cpu     time.Duration
+	// extra is the summed surplus over coordinator wait (see runWorkers);
+	// folded into ScanStats.WorkerExtraNanos for per-query CPU attribution.
+	extra time.Duration
 }
 
 // finish publishes the counters to the operator's span and the query stats.
@@ -141,6 +154,7 @@ func (pa *parAccounting) finish(ec *ExecCtx, sp obs.SpanRef) {
 	if ec.Stats != nil {
 		ec.Stats.Morsels.Add(int64(pa.morsels))
 		ec.Stats.WorkerNanos.Add(pa.cpu.Nanoseconds())
+		ec.Stats.WorkerExtraNanos.Add(pa.extra.Nanoseconds())
 	}
 }
 

@@ -150,3 +150,61 @@ func probeBad(t *morselTable, scr *workerScratch, rows []int32) int {
 	sink(matches) // want — boxing int into any
 	return matches
 }
+
+// The shapes below mirror per-query resource attribution: a worker folds its
+// busy time into shared atomic-style counters (modelled here as plain int64
+// fields behind a pointer), and the coordinator computes the attribution
+// deltas after execution. The accounting itself must stay allocation-free —
+// only the reporting tail (off the hot path) may build rows.
+
+type attrCounters struct {
+	workerExtraNanos int64
+	allocObjects     int64
+	allocBytes       int64
+}
+
+type attrScratch struct {
+	labels []string
+}
+
+// foldAttribution is the per-worker accounting shape: pure arithmetic folds
+// into caller-owned counters, no allocation anywhere.
+// pclint:noalloc
+func foldAttribution(c *attrCounters, busyNanos, elapsedNanos int64) {
+	extra := busyNanos - elapsedNanos
+	if extra < 0 {
+		extra = 0
+	}
+	c.workerExtraNanos += extra
+}
+
+// snapshotDelta is the coordinator's delta shape: subtract two counter
+// snapshots, clamping at zero — again pure arithmetic.
+// pclint:noalloc
+func snapshotDelta(before, after *attrCounters) (objects, bytes int64) {
+	objects = after.allocObjects - before.allocObjects
+	bytes = after.allocBytes - before.allocBytes
+	if objects < 0 {
+		objects = 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	return objects, bytes
+}
+
+// attributeBad builds the pprof label set inside the per-morsel loop: a map
+// composite literal and a string concatenation per morsel, exactly the
+// mistake the execution path avoids by labelling once around the whole
+// query. Both must be flagged.
+// pclint:noalloc
+func attributeBad(c *attrCounters, scr *attrScratch, morsels []int64) {
+	for _, m := range morsels {
+		labels := map[string]string{"query_id": "q"} // want — map literal per morsel
+		_ = labels
+		tag := "shape" + "=" + "s"             // constant-folded: no allocation
+		scr.labels = append(scr.labels, tag)   // ok: amortized into caller-owned scratch
+		c.workerExtraNanos += m                // the actual accounting is free
+		sink(c.workerExtraNanos)               // want — boxing int64 into any
+	}
+}

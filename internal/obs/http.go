@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"runtime"
 	"time"
 )
 
@@ -16,6 +15,12 @@ import (
 //	/metrics        Prometheus text exposition format
 //	/metrics.json   the same registry as a JSON object
 //	/debug/pprof/*  the standard pprof handlers (profile, heap, trace, ...)
+//	/profile/cpu    CPU profile (?seconds=N, default 30) — pprof labels included
+//	/profile/heap   heap profile snapshot
+//
+// The /profile/* routes are the admin-facing spellings used by the profiling
+// quickstart; they alias the corresponding /debug/pprof handlers so a capture
+// is one curl away from `go tool pprof`.
 func Handler(m *Metrics) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -35,12 +40,14 @@ func Handler(m *Metrics) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/profile/cpu", pprof.Profile)
+	mux.Handle("/profile/heap", pprof.Handler("heap"))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "predcache metrics endpoint\n/metrics\n/metrics.json\n/debug/pprof/\n")
+		fmt.Fprint(w, "predcache metrics endpoint\n/metrics\n/metrics.json\n/debug/pprof/\n/profile/cpu\n/profile/heap\n")
 	})
 	return mux
 }
@@ -93,24 +100,21 @@ func (s *Server) Close() error {
 
 // RegisterRuntimeMetrics adds Go runtime gauges (heap, GC, goroutines) to
 // the registry; both pcsh and pcbench expose them next to the engine
-// metrics so a long run can be watched without attaching pprof.
-func RegisterRuntimeMetrics(m *Metrics) {
-	m.NewGauge("go_goroutines", "Number of live goroutines.", func() float64 {
-		return float64(runtime.NumGoroutine())
+// metrics so a long run can be watched without attaching pprof. The gauges
+// read last() — the runtime sampler's latest retained sample — upholding the
+// collector's invariant that scrapes never trigger a ReadMemStats of their
+// own: a scrape storm cannot induce stop-the-world pauses.
+func RegisterRuntimeMetrics(m *Metrics, last func() RuntimeSample) {
+	m.NewGauge("go_goroutines", "Number of live goroutines at the last runtime sample.", func() float64 {
+		return float64(last().Goroutines)
 	})
-	m.NewGauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapAlloc)
+	m.NewGauge("go_heap_alloc_bytes", "Bytes of allocated heap objects at the last runtime sample.", func() float64 {
+		return float64(last().HeapAllocBytes)
 	})
-	m.NewGauge("go_heap_sys_bytes", "Heap memory obtained from the OS.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.HeapSys)
+	m.NewGauge("go_heap_sys_bytes", "Heap memory obtained from the OS at the last runtime sample.", func() float64 {
+		return float64(last().HeapSysBytes)
 	})
-	m.NewGauge("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		return float64(ms.NumGC)
+	m.NewGauge("go_gc_cycles_total", "Completed GC cycles at the last runtime sample.", func() float64 {
+		return float64(last().GCCycles)
 	})
 }

@@ -189,7 +189,8 @@ func TestValidateExpositionRejectsMalformed(t *testing.T) {
 
 func TestHTTPServer(t *testing.T) {
 	m := newTestRegistry()
-	RegisterRuntimeMetrics(m)
+	sample := ReadRuntimeSample(nil)
+	RegisterRuntimeMetrics(m, func() RuntimeSample { return sample })
 	srv, err := StartServer("127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)

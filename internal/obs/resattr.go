@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"hash/fnv"
+	"runtime/metrics"
+	"sync"
+)
+
+// Per-query resource attribution reads the process-wide allocation counters
+// from runtime/metrics before and after a query executes. Unlike
+// runtime.ReadMemStats these counters are maintained continuously by the
+// allocator — reading them never stops the world — so the snapshot pair
+// costs nanoseconds and is safe on every query.
+//
+// The counters are process-wide: a delta taken around one query includes
+// allocations other goroutines made in the same window. Under a serial
+// workload the delta is exact; under concurrency it is an upper bound whose
+// error shrinks with query duration. pc.query_log and pc.query_shapes
+// document the same caveat.
+
+// resMetricNames are the runtime/metrics counters a snapshot reads.
+var resMetricNames = [...]string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+}
+
+// resSamplePool recycles the []metrics.Sample scratch so taking a snapshot
+// allocates nothing in steady state (the execution spine is alloc-budgeted).
+var resSamplePool = sync.Pool{
+	New: func() any {
+		s := make([]metrics.Sample, len(resMetricNames))
+		for i, name := range resMetricNames {
+			s[i].Name = name
+		}
+		return &s
+	},
+}
+
+// ResourceSnapshot is one reading of the process's cumulative allocation
+// counters. Subtract two snapshots to attribute the interval in between.
+type ResourceSnapshot struct {
+	AllocBytes   uint64 // cumulative heap bytes allocated
+	AllocObjects uint64 // cumulative heap objects allocated
+}
+
+// TakeResourceSnapshot reads the current cumulative allocation counters.
+func TakeResourceSnapshot() ResourceSnapshot {
+	sp := resSamplePool.Get().(*[]metrics.Sample)
+	s := *sp
+	metrics.Read(s)
+	snap := ResourceSnapshot{
+		AllocBytes:   s[0].Value.Uint64(),
+		AllocObjects: s[1].Value.Uint64(),
+	}
+	resSamplePool.Put(sp)
+	return snap
+}
+
+// Sub returns the counter deltas since earlier, clamped at zero (the
+// counters are monotone, but a clamp keeps a misordered pair harmless).
+func (r ResourceSnapshot) Sub(earlier ResourceSnapshot) (allocObjects, allocBytes int64) {
+	if r.AllocObjects > earlier.AllocObjects {
+		allocObjects = int64(r.AllocObjects - earlier.AllocObjects)
+	}
+	if r.AllocBytes > earlier.AllocBytes {
+		allocBytes = int64(r.AllocBytes - earlier.AllocBytes)
+	}
+	return allocObjects, allocBytes
+}
+
+// ShapeID derives the short, stable identifier of a query shape from its
+// normalized-SQL key: "s" + FNV-1a 64 in hex. It is what the shape pprof
+// label carries and what pc.query_log.shape_id joins pc.query_shapes on —
+// short enough for label vocabularies, stable across processes.
+func ShapeID(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	const hexdigits = "0123456789abcdef"
+	var buf [17]byte
+	buf[0] = 's'
+	v := h.Sum64()
+	for i := 16; i >= 1; i-- {
+		buf[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}

@@ -47,6 +47,10 @@ type RuntimeCollector struct {
 	// pools reads the engine's scratch-pool counters, nil when not wired.
 	pools func() (gets, news int64) // immutable after construction
 
+	// sent, when wired, evaluates the leak sentinels against the freshest
+	// sample window after every SampleNow. Nil checks nothing.
+	sent *Sentinels // immutable after construction
+
 	cancel context.CancelFunc // immutable after StartRuntimeCollector
 	done   chan struct{}      // closed when the sampling goroutine exits
 }
@@ -55,6 +59,13 @@ type RuntimeCollector struct {
 // DefaultRuntimeInterval) until Stop. pools may be nil; when set it supplies
 // the scan-scratch pool counters recorded with each sample.
 func StartRuntimeCollector(interval time.Duration, pools func() (gets, news int64)) *RuntimeCollector {
+	return StartRuntimeCollectorWith(interval, pools, nil)
+}
+
+// StartRuntimeCollectorWith is StartRuntimeCollector plus a sentinel set:
+// after every retained sample the freshest window is handed to sent.Evaluate,
+// so the watchdogs run on the sampling cadence without their own goroutine.
+func StartRuntimeCollectorWith(interval time.Duration, pools func() (gets, news int64), sent *Sentinels) *RuntimeCollector {
 	if interval <= 0 {
 		interval = DefaultRuntimeInterval
 	}
@@ -62,6 +73,7 @@ func StartRuntimeCollector(interval time.Duration, pools func() (gets, news int6
 	c := &RuntimeCollector{
 		ring:   make([]RuntimeSample, defaultRuntimeCapacity),
 		pools:  pools,
+		sent:   sent,
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
@@ -128,7 +140,28 @@ func (c *RuntimeCollector) SampleNow() RuntimeSample {
 	if c.n < len(c.ring) {
 		c.n++
 	}
+	var win []RuntimeSample
+	if c.sent != nil {
+		// Gather the freshest sentinel window (oldest first) while the lock is
+		// held; Evaluate runs outside it — it takes the sentinels' own lock and
+		// may emit log lines.
+		w := c.sent.Window()
+		if w > c.n {
+			w = c.n
+		}
+		win = make([]RuntimeSample, 0, w)
+		start := c.next - w
+		if start < 0 {
+			start += len(c.ring)
+		}
+		for i := 0; i < w; i++ {
+			win = append(win, c.ring[(start+i)%len(c.ring)])
+		}
+	}
 	c.mu.Unlock()
+	if c.sent != nil {
+		c.sent.Evaluate(win)
+	}
 	return s
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -175,7 +176,11 @@ func (s *session) execute(sql string) {
 		s.writeLine("err " + ErrDraining.Error())
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The session label rides the context into per-query resource
+	// attribution: every query this connection runs carries a session pprof
+	// label, so a profile can be cut by connection as well as by shape.
+	ctx, cancel := context.WithCancel(
+		predcache.ContextWithSession(context.Background(), "s"+strconv.FormatInt(s.id, 10)))
 	s.setCancel(cancel)
 	defer func() {
 		s.clearCancel()

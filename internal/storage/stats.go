@@ -32,6 +32,13 @@ type ScanStats struct {
 	// cpu ≈ W×wall means W workers stayed busy).
 	Morsels     atomic.Int64
 	WorkerNanos atomic.Int64
+	// WorkerExtraNanos is the busy time spawned workers contributed beyond
+	// the coordinator's wall-clock wait for them: for a parallel phase with W
+	// workers and summed busy time B over elapsed E, the extra is B − E
+	// (≈ (W−1)×E when all workers stay busy). Query wall time plus this sum
+	// is the query's attributed CPU time — the cpu_us column of pc.query_log
+	// and pc.query_shapes. Serial phases contribute zero.
+	WorkerExtraNanos atomic.Int64
 }
 
 // Add merges other into s.
@@ -48,6 +55,7 @@ func (s *ScanStats) Add(other *ScanStats) {
 	s.RowsDecoded.Add(other.RowsDecoded.Load())
 	s.Morsels.Add(other.Morsels.Load())
 	s.WorkerNanos.Add(other.WorkerNanos.Load())
+	s.WorkerExtraNanos.Add(other.WorkerExtraNanos.Load())
 }
 
 // Snapshot returns a plain-struct copy for reporting.
@@ -65,6 +73,7 @@ func (s *ScanStats) Snapshot() ScanStatsSnapshot {
 		RowsDecoded:       s.RowsDecoded.Load(),
 		Morsels:           s.Morsels.Load(),
 		WorkerNanos:       s.WorkerNanos.Load(),
+		WorkerExtraNanos:  s.WorkerExtraNanos.Load(),
 	}
 }
 
@@ -82,4 +91,5 @@ type ScanStatsSnapshot struct {
 	RowsDecoded       int64
 	Morsels           int64
 	WorkerNanos       int64
+	WorkerExtraNanos  int64
 }

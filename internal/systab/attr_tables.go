@@ -1,0 +1,86 @@
+package systab
+
+import (
+	"github.com/predcache/predcache/internal/engine"
+	"github.com/predcache/predcache/internal/obs"
+	"github.com/predcache/predcache/internal/storage"
+)
+
+// Resource-attribution tables (PR 9): pc.query_shapes is the per-shape cost
+// ledger the workload-driven advisor consumes, pc.alerts the leak-sentinel
+// transition history. Both follow the virtual-table conventions in tables.go.
+
+var queryShapesSchema = storage.Schema{
+	{Name: "shape_id", Type: storage.String},
+	{Name: "shape_text", Type: storage.String},
+	{Name: "query_class", Type: storage.String},
+	{Name: "calls", Type: storage.Int64},
+	{Name: "errors", Type: storage.Int64},
+	{Name: "cpu_us", Type: storage.Int64},
+	{Name: "p50_cpu_us", Type: storage.Int64},
+	{Name: "p99_cpu_us", Type: storage.Int64},
+	{Name: "wall_us", Type: storage.Int64},
+	{Name: "allocs", Type: storage.Int64},
+	{Name: "alloc_bytes", Type: storage.Int64},
+	{Name: "result_rows", Type: storage.Int64},
+	{Name: "cache_hit_rate", Type: storage.Float64},
+	{Name: "exemplar_trace_id", Type: storage.Int64},
+}
+
+// queryShapesTable exposes a ShapeStats ledger as pc.query_shapes, ranked by
+// total attributed CPU (heaviest shape first).
+type queryShapesTable struct {
+	shapes *obs.ShapeStats
+}
+
+// QueryShapesTable builds the pc.query_shapes provider (shapes may be nil:
+// the table then always snapshots empty).
+func QueryShapesTable(shapes *obs.ShapeStats) engine.VirtualTable {
+	return &queryShapesTable{shapes: shapes}
+}
+
+func (t *queryShapesTable) Name() string           { return "pc.query_shapes" }
+func (t *queryShapesTable) Schema() storage.Schema { return queryShapesSchema }
+func (t *queryShapesTable) NumRows() int           { return t.shapes.Len() }
+
+func (t *queryShapesTable) Snapshot() (*engine.Relation, error) {
+	b := newBuilder(queryShapesSchema)
+	for _, r := range t.shapes.Snapshot() {
+		b.row(r.ID, r.Key, r.Class, r.Calls, r.Errors,
+			r.CPUMicros, r.P50CPUMicros, r.P99CPUMicros, r.WallMicros,
+			r.AllocObjects, r.AllocBytes, r.Rows, r.HitRate, r.ExemplarTraceID)
+	}
+	return b.relation()
+}
+
+var alertsSchema = storage.Schema{
+	{Name: "ts_micros", Type: storage.Int64},
+	{Name: "sentinel", Type: storage.String},
+	{Name: "state", Type: storage.String},
+	{Name: "value", Type: storage.Int64},
+	{Name: "threshold", Type: storage.Int64},
+	{Name: "detail", Type: storage.String},
+}
+
+// alertsTable exposes an AlertLog as pc.alerts, oldest transition first.
+type alertsTable struct {
+	log *obs.AlertLog
+}
+
+// AlertsTable builds the pc.alerts provider (log may be nil: the table then
+// always snapshots empty).
+func AlertsTable(log *obs.AlertLog) engine.VirtualTable {
+	return &alertsTable{log: log}
+}
+
+func (t *alertsTable) Name() string           { return "pc.alerts" }
+func (t *alertsTable) Schema() storage.Schema { return alertsSchema }
+func (t *alertsTable) NumRows() int           { return t.log.Len() }
+
+func (t *alertsTable) Snapshot() (*engine.Relation, error) {
+	b := newBuilder(alertsSchema)
+	for _, a := range t.log.Alerts() {
+		b.row(a.TSMicros, a.Sentinel, a.State, a.Value, a.Threshold, a.Detail)
+	}
+	return b.relation()
+}

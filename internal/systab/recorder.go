@@ -50,6 +50,21 @@ type QueryRecord struct {
 	CacheHits           int64 `json:"cache_hits"`
 	CacheMisses         int64 `json:"cache_misses"`
 
+	// Resource attribution (PR 9). CPUMicros is the query's attributed CPU:
+	// exec wall time plus the busy time morsel workers contributed beyond the
+	// coordinator's wait. AllocObjects/AllocBytes are runtime/metrics
+	// allocation deltas taken around execution — exact under a serial
+	// workload, an upper bound under concurrency (the counters are
+	// process-wide).
+	CPUMicros    int64 `json:"cpu_us"`
+	AllocObjects int64 `json:"allocs"`
+	AllocBytes   int64 `json:"alloc_bytes"`
+
+	// ShapeID is the normalized-SQL shape identifier (obs.ShapeID); it joins
+	// pc.query_shapes.shape_id and matches the query's shape pprof label.
+	// Empty for hand-built plans run through DB.Run/RunCtx.
+	ShapeID string `json:"shape_id,omitempty"`
+
 	// Slow marks queries at or above the recorder's slow-query threshold.
 	Slow bool `json:"slow,omitempty"`
 }
@@ -106,6 +121,40 @@ func (q *QueryRecorder) Record(rec QueryRecord) int64 {
 	q.mu.Lock()
 	rec.Seq = q.seq
 	q.seq++
+	rec.Slow = q.slow > 0 && time.Duration(rec.WallMicros)*time.Microsecond >= q.slow
+	q.buf[q.next] = rec
+	q.next = (q.next + 1) % len(q.buf)
+	if q.n < len(q.buf) {
+		q.n++
+	}
+	q.mu.Unlock()
+	return rec.Seq
+}
+
+// Reserve allocates the next sequence number without writing a record. The
+// attribution path reserves the query's ID up front so its pprof labels can
+// carry the same query_id that pc.query_log will eventually show; the record
+// itself lands later via RecordReserved. Reservations and completions both
+// take q.mu, so under a serial workload seq order still equals log order. A
+// nil recorder returns -1.
+func (q *QueryRecorder) Reserve() int64 {
+	if q == nil {
+		return -1
+	}
+	q.mu.Lock()
+	seq := q.seq
+	q.seq++
+	q.mu.Unlock()
+	return seq
+}
+
+// RecordReserved appends a record whose Seq was pre-assigned by Reserve. It
+// applies the Slow flag but leaves rec.Seq untouched, and returns it.
+func (q *QueryRecorder) RecordReserved(rec QueryRecord) int64 {
+	if q == nil {
+		return -1
+	}
+	q.mu.Lock()
 	rec.Slow = q.slow > 0 && time.Duration(rec.WallMicros)*time.Microsecond >= q.slow
 	q.buf[q.next] = rec
 	q.next = (q.next + 1) % len(q.buf)

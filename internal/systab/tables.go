@@ -31,6 +31,10 @@ var queryLogSchema = storage.Schema{
 	{Name: "blocks_pruned_cache", Type: storage.Int64},
 	{Name: "cache_hits", Type: storage.Int64},
 	{Name: "cache_misses", Type: storage.Int64},
+	{Name: "cpu_us", Type: storage.Int64},
+	{Name: "allocs", Type: storage.Int64},
+	{Name: "alloc_bytes", Type: storage.Int64},
+	{Name: "shape_id", Type: storage.String},
 	{Name: "slow", Type: storage.Bool},
 }
 
@@ -57,7 +61,8 @@ func (t *queryLogTable) Snapshot() (*engine.Relation, error) {
 			r.Rows, r.RowsScanned, r.RowsQualified, r.RowsDecoded,
 			r.BlocksAccessed, r.BlocksDecoded, r.BlocksKernel,
 			r.BlocksPrunedZoneMap, r.BlocksPrunedCache,
-			r.CacheHits, r.CacheMisses, r.Slow)
+			r.CacheHits, r.CacheMisses,
+			r.CPUMicros, r.AllocObjects, r.AllocBytes, r.ShapeID, r.Slow)
 	}
 	return b.relation()
 }

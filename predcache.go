@@ -20,6 +20,7 @@ package predcache
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -113,6 +114,21 @@ type DB struct {
 	slo       *obs.SLOSet
 	traceCfg  obs.TraceStoreConfig
 	tracesOff bool
+
+	// shapes is the per-shape resource ledger behind pc.query_shapes and
+	// alerts the leak-sentinel transition ring behind pc.alerts. Both are
+	// immutable after Open; shapeCap and sentinelCfg only carry option values
+	// into Open (sentinelCfg is also read by StartRuntimeSampler).
+	shapes      *obs.ShapeStats
+	alerts      *obs.AlertLog
+	shapeCap    int
+	sentinelCfg obs.SentinelConfig
+
+	// captor writes rate-limited CPU profiles on slow queries when
+	// WithProfileCapture configured a directory; nil otherwise. profileDir
+	// only carries the option value into Open.
+	captor     *obs.ProfileCaptor
+	profileDir string
 
 	// logger receives structured slow-query, error and lifecycle lines; nil
 	// drops everything. Swappable at runtime via SetLogger.
@@ -244,6 +260,21 @@ func Open(opts ...Option) *DB {
 	if !db.planCacheOff {
 		db.plans = sql.NewPlanCache(db.planCacheCap)
 	}
+	db.shapes = obs.NewShapeStats(db.shapeCap)
+	db.alerts = obs.NewAlertLog(0)
+	if db.profileDir != "" {
+		captor, err := obs.NewProfileCaptor(obs.ProfileCaptorConfig{
+			Dir:    db.profileDir,
+			Logger: db.logger.Load,
+		})
+		if err != nil {
+			// Capture is best-effort telemetry: an unwritable directory
+			// disables it rather than failing Open.
+			db.logger.Load().Error("profile capture disabled", "error", err.Error())
+		} else {
+			db.captor = captor
+		}
+	}
 	db.sysTables = systab.NewRegistry()
 	for _, vt := range []engine.VirtualTable{
 		systab.QueryLogTable(db.qlog),
@@ -258,6 +289,8 @@ func Open(opts ...Option) *DB {
 		systab.RuntimeTable(db.runtime.Load, func() obs.RuntimeSample {
 			return obs.ReadRuntimeSample(engine.ScratchPoolStats)
 		}),
+		systab.QueryShapesTable(db.shapes),
+		systab.AlertsTable(db.alerts),
 	} {
 		if err := db.sysTables.Register(vt); err != nil {
 			// Names are compile-time constants; a clash is a programming error.
@@ -610,7 +643,7 @@ func (db *DB) QueryCtx(ctx context.Context, query string) (*Result, error) {
 			return nil, err
 		}
 	}
-	meta := queryMeta{sql: query, start: time.Now()}
+	meta := queryMeta{sql: query, start: time.Now(), session: sessionFromCtx(ctx)}
 	if db.traces != nil {
 		meta.tr = obs.NewTrace()
 	}
@@ -643,6 +676,10 @@ func (db *DB) parseAndPlan(meta *queryMeta, query string) (engine.Node, error) {
 		ddlGen = db.ddlGen.Load()
 		if n, ok := sql.Normalize(query); ok {
 			nq = n
+			// The normalized key doubles as the query's shape: the same string
+			// the plan cache indexes on keys pc.query_shapes and the shape
+			// pprof label, so all three layers agree on what "one shape" is.
+			meta.shapeKey = n.Key
 			csp := meta.tr.Begin(obs.KindPhase, "plan-cache")
 			node, hit := db.plans.Get(nq, db.cat, ddlGen)
 			csp.End()
@@ -691,6 +728,16 @@ type queryMeta struct {
 	// instead of detaching them (ExplainAnalyze renders the trace afterwards).
 	tr        *obs.Trace
 	keepSpans bool
+	// shapeKey is the normalized-SQL shape (set by parseAndPlan; runInternal
+	// falls back to the raw SQL when normalization declined the statement) and
+	// session the connection label QueryCtx extracted from the context. seq is
+	// the query's pre-reserved pc.query_log sequence number when reserved is
+	// set — reserved before execution so the pprof query_id label matches the
+	// log row the query will eventually occupy.
+	shapeKey string
+	session  string
+	seq      int64
+	reserved bool
 }
 
 // recordFailed logs a query that never reached execution (parse or plan
@@ -736,39 +783,101 @@ func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) 
 	if meta.start.IsZero() {
 		meta.start = time.Now()
 	}
+	// SQL-originated queries get full resource attribution: pprof labels on
+	// the executing goroutines, allocation deltas, and a shape identity.
+	// Hand-built plans (Run/RunCtx) skip it — they have no query text to
+	// shape-key and the warm-scan allocation budget holds them to the bare
+	// execution path (label sets and snapshots both allocate).
+	attributed := meta.sql != ""
+	var shapeID string
+	var before obs.ResourceSnapshot
+	if attributed {
+		if meta.shapeKey == "" {
+			// Normalization declined the statement (or the plan cache is
+			// off): the raw SQL is its own shape.
+			meta.shapeKey = meta.sql
+		}
+		shapeID = obs.ShapeID(meta.shapeKey)
+		if !meta.reserved {
+			// Reserve the query's log sequence number before execution so the
+			// pprof query_id label names the pc.query_log row the query will
+			// occupy when it completes (-1, never recorded, when logging is
+			// disabled).
+			meta.seq = db.qlog.Reserve()
+			meta.reserved = meta.seq >= 0
+		}
+		before = obs.TakeResourceSnapshot()
+	}
 	execStart := time.Now()
 	esp := meta.tr.Begin(obs.KindPhase, "execute")
-	rel, err := node.Execute(ec)
+	var rel *engine.Relation
+	var err error
+	if attributed {
+		labelCtx := context.Background()
+		if ec.Ctx != nil {
+			labelCtx = ec.Ctx
+		}
+		// pprof.Do tags this goroutine — and, by inheritance, every morsel
+		// worker the plan spawns — for the duration of the execution, so CPU
+		// samples anywhere in the plan carry the query's identity.
+		pprof.Do(labelCtx, pprof.Labels(
+			"query_id", queryIDLabel(meta.seq),
+			"shape", shapeID,
+			"session", meta.session,
+		), func(context.Context) {
+			rel, err = node.Execute(ec)
+		})
+	} else {
+		rel, err = node.Execute(ec)
+	}
 	esp.End()
 	exec := time.Since(execStart)
+	var allocObjects, allocBytes int64
+	if attributed {
+		allocObjects, allocBytes = obs.TakeResourceSnapshot().Sub(before)
+	}
 	snap := ec.Stats.Snapshot()
+	// Attributed CPU: the coordinator's exec wall already contains every
+	// serial phase and its own share of parallel ones; workers add only the
+	// busy time beyond the coordinator's wait (see ScanStats.WorkerExtraNanos).
+	cpu := exec + time.Duration(snap.WorkerExtraNanos)
 	db.metrics.Load().record(exec, snap, err)
 	wall := time.Since(meta.start)
+	var rows int64
+	if err == nil {
+		rows = int64(rel.NumRows())
+	}
 	seq := int64(-1)
 	if db.qlog != nil {
 		rec := systab.QueryRecord{
-			StartMicros: meta.start.UnixMicro(),
-			SQL:         meta.sql,
-			WallMicros:  wall.Microseconds(),
-			ParseMicros: meta.parse.Microseconds(),
-			PlanMicros:  meta.plan.Microseconds(),
-			ExecMicros:  exec.Microseconds(),
+			StartMicros:  meta.start.UnixMicro(),
+			SQL:          meta.sql,
+			WallMicros:   wall.Microseconds(),
+			ParseMicros:  meta.parse.Microseconds(),
+			PlanMicros:   meta.plan.Microseconds(),
+			ExecMicros:   exec.Microseconds(),
+			CPUMicros:    cpu.Microseconds(),
+			AllocObjects: allocObjects,
+			AllocBytes:   allocBytes,
+			ShapeID:      shapeID,
+			Rows:         rows,
 		}
 		rec.FillStats(snap)
 		if err != nil {
 			rec.Error = err.Error()
-		} else {
-			rec.Rows = int64(rel.NumRows())
 		}
-		seq = db.qlog.Record(rec)
+		if meta.reserved {
+			rec.Seq = meta.seq
+			seq = db.qlog.RecordReserved(rec)
+		} else {
+			seq = db.qlog.Record(rec)
+		}
 	}
-	if meta.sql != "" {
+	if attributed {
 		// SQL-originated queries feed the observability tail: classify, offer
-		// the trace for retention, observe the SLO histogram, log anomalies.
-		// Hand-built plans (Run/RunCtx) skip it — they have no query text to
-		// retain and the warm-scan allocation budget holds them to the bare
-		// execution path.
-		db.observe(node, meta, seq, wall, snap, err)
+		// the trace for retention, observe the SLO histograms and the shape
+		// ledger, log anomalies, capture profiles on slow queries.
+		db.observe(node, meta, seq, wall, snap, err, shapeID, cpu, allocObjects, allocBytes, rows)
 	}
 	if err != nil {
 		return nil, err
@@ -789,7 +898,7 @@ func (db *DB) runInternal(node engine.Node, ec *engine.ExecCtx, meta queryMeta) 
 // SLO histograms, the finished trace is offered for retention (errored and
 // slow queries are always admitted), and anomalies emit one structured log
 // line stamped with the query/trace ID.
-func (db *DB) observe(node engine.Node, meta queryMeta, seq int64, wall time.Duration, snap storage.ScanStatsSnapshot, execErr error) {
+func (db *DB) observe(node engine.Node, meta queryMeta, seq int64, wall time.Duration, snap storage.ScanStatsSnapshot, execErr error, shapeID string, cpu time.Duration, allocObjects, allocBytes, rows int64) {
 	class := engine.Classify(node)
 	hit := snap.CacheHits > 0
 	retained := false
@@ -797,6 +906,23 @@ func (db *DB) observe(node engine.Node, meta queryMeta, seq int64, wall time.Dur
 		retained = db.retainTrace(meta, seq, wall, class, engine.Shape(node), hit, execErr)
 	}
 	db.slo.Observe(class, hit, wall, seq, retained)
+	// The shape ledger receives the same CPUMicros pc.query_log records, so
+	// summing cpu_us over pc.query_log by shape_id reproduces
+	// pc.query_shapes.cpu_us exactly (while both fit the log's window).
+	db.shapes.Observe(obs.ShapeObservation{
+		Key:          meta.shapeKey,
+		ID:           shapeID,
+		Class:        class,
+		CPUMicros:    cpu.Microseconds(),
+		WallMicros:   wall.Microseconds(),
+		AllocObjects: allocObjects,
+		AllocBytes:   allocBytes,
+		Rows:         rows,
+		Hit:          hit,
+		Err:          execErr != nil,
+		TraceID:      seq,
+		Retained:     retained,
+	})
 	switch {
 	case execErr != nil:
 		db.logger.Load().WithQuery(seq).Error("query failed",
@@ -805,8 +931,10 @@ func (db *DB) observe(node engine.Node, meta queryMeta, seq int64, wall time.Dur
 	case db.slowQuery > 0 && wall >= db.slowQuery:
 		db.logger.Load().WithQuery(seq).Warn("slow query",
 			"sql", meta.sql, "class", class, "wall_us", wall.Microseconds(),
+			"cpu_us", cpu.Microseconds(), "shape_id", shapeID,
 			"rows_scanned", snap.RowsScanned, "cache_hits", snap.CacheHits,
 			"trace_retained", retained)
+		db.captor.MaybeCapture("slow_query", seq)
 	}
 }
 

@@ -6,11 +6,15 @@
 #   scripts/bench_compare.sh <label>          record BENCH_<label>.json
 #   scripts/bench_compare.sh <old> <new>      compare two recordings (.json files)
 #
-# A recording holds per-benchmark ns/op, allocs/op, bytes/op and rows-scanned
-# for the scan micro-benchmarks (see internal/bench/micro.go). Run it once
-# before a performance change and once after, then compare:
+# A recording holds per-benchmark ns/op, allocs/op, bytes/op, rows-scanned and
+# attributed cpu_us/allocs_per_query for the scan micro-benchmarks (see
+# internal/bench/micro.go). Run it once before a performance change and once
+# after, then compare:
 #
 #   scripts/bench_compare.sh BENCH_0.json BENCH_1.json
+#
+# Compare mode exits non-zero when any benchmark's allocation count regresses
+# beyond slack (new > old*1.10 + 16), so CI can gate on it directly.
 #
 # Recordings are plain JSON; keep them committed so future PRs inherit a
 # baseline (EXPERIMENTS.md documents how to read them).

@@ -1,0 +1,125 @@
+#!/usr/bin/env sh
+# profile_smoke.sh: end-to-end check of per-query resource attribution.
+# Builds pcserver and pcclient, starts the server with an admin endpoint and
+# a slow-query profile directory, then asserts the three attribution
+# surfaces: pc.query_shapes aggregates attributed CPU per shape, an
+# on-demand /profile/cpu capture taken under load carries the query_id/shape
+# pprof labels on worker samples, and a query crossing the slow threshold
+# leaves a rate-limited CPU profile on disk. /profile/heap must serve a
+# parseable heap profile.
+set -eu
+
+BIN="$(mktemp -d)"
+SRV_PID=""
+LOAD_PID=""
+trap 'kill "$SRV_PID" "$LOAD_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+
+go build -o "$BIN/pcserver" ./cmd/pcserver
+go build -o "$BIN/pcclient" ./cmd/pcclient
+
+"$BIN/pcserver" -dataset ssb -sf 0.01 -addr 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -slow 1ms -profile-dir "$BIN/profiles" >"$BIN/server.log" 2>&1 &
+SRV_PID=$!
+
+fail() {
+    cat "$BIN/server.log" >&2
+    echo "profile smoke: FAIL ($1)" >&2
+    exit 1
+}
+
+# The server prints the SQL and admin addresses once it is up; -addr/-admin
+# :0 make the kernel pick the ports, so parse them back from the log.
+ADDR=""
+ADMIN=""
+i=0
+while [ $i -lt 120 ]; do
+    ADDR="$(awk '/^listening on /{print $3; exit}' "$BIN/server.log")"
+    ADMIN="$(awk '/^admin on /{print $3; exit}' "$BIN/server.log")"
+    [ -n "$ADDR" ] && [ -n "$ADMIN" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server exited before listening"
+    sleep 0.25
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] && [ -n "$ADMIN" ] || fail "server never started listening"
+ADMIN="${ADMIN#http://}"
+ADMIN="${ADMIN%/stats}"
+
+q() {
+    printf '%s\n' "$1" | "$BIN/pcclient" -addr "$ADDR" -timeout 30s
+}
+val() {
+    q "$1" | sed -n 3p
+}
+
+# A few attributed queries of two shapes: enough for the shape ledger, and —
+# with the 1ms slow threshold — enough to trigger the slow-query captor.
+q 'select sum(lo_revenue) as s from lineorder where lo_quantity < 30' >/dev/null
+q 'select sum(lo_revenue) as s from lineorder where lo_quantity < 10' >/dev/null
+q 'select count(*) as n from customer' >/dev/null
+
+# pc.query_shapes: the workload shapes must be there with measured CPU.
+SHAPES="$(val 'select count(*) as n from pc.query_shapes where calls > 0 and cpu_us > 0')"
+[ -n "$SHAPES" ] && [ "$SHAPES" -ge 2 ] 2>/dev/null ||
+    fail "pc.query_shapes has no attributed shapes (got '$SHAPES')"
+# The two sum() runs normalize to one shape with two calls.
+TOPCALLS="$(val 'select calls, cpu_us from pc.query_shapes order by cpu_us desc limit 1' | awk '{print $1}')"
+[ -n "$TOPCALLS" ] && [ "$TOPCALLS" -ge 2 ] 2>/dev/null ||
+    fail "top shape did not fold the repeated template (calls='$TOPCALLS')"
+
+# Slow-query capture: the captor runs asynchronously for 1s after the first
+# slow query; wait for the profile file to land before touching /profile/cpu
+# (the runtime allows one CPU profile at a time).
+i=0
+while [ $i -lt 40 ]; do
+    if ls "$BIN/profiles"/cpu-*.pprof >/dev/null 2>&1; then break; fi
+    sleep 0.25
+    i=$((i + 1))
+done
+ls "$BIN/profiles"/cpu-*.pprof >/dev/null 2>&1 || fail "no slow-query profile captured"
+# The file appears when the capture starts; give the 1s capture time to
+# finish and release the CPU profiler before /profile/cpu claims it.
+sleep 1.5
+
+# Labelled on-demand capture: hammer one shape from a background session
+# while /profile/cpu samples for 2s, then the profile's tag summary must show
+# the query_id and shape label keys on the sampled stacks. CPU sampling is
+# statistical, so retry a few times before declaring failure.
+i=0
+while [ $i -lt 2000 ]; do
+    printf 'select sum(lo_revenue) as s from lineorder where lo_quantity < 30\n'
+    i=$((i + 1))
+done >"$BIN/load.sql"
+
+LABELS_OK=0
+attempt=0
+while [ $attempt -lt 3 ]; do
+    "$BIN/pcclient" -addr "$ADDR" -timeout 120s <"$BIN/load.sql" >/dev/null 2>&1 &
+    LOAD_PID=$!
+    sleep 0.2
+    curl -fsS -o "$BIN/cpu.pprof" "http://$ADMIN/profile/cpu?seconds=2" || true
+    kill "$LOAD_PID" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    LOAD_PID=""
+    if [ -s "$BIN/cpu.pprof" ]; then
+        TAGS="$(go tool pprof -tags "$BIN/cpu.pprof" 2>/dev/null || true)"
+        if printf '%s' "$TAGS" | grep -q 'query_id' &&
+            printf '%s' "$TAGS" | grep -q 'shape'; then
+            LABELS_OK=1
+            break
+        fi
+    fi
+    attempt=$((attempt + 1))
+    sleep 1
+done
+[ "$LABELS_OK" -eq 1 ] || fail "CPU profile carries no query_id/shape labels"
+
+# Heap profile endpoint: must serve a profile go tool pprof can parse.
+curl -fsS -o "$BIN/heap.pprof" "http://$ADMIN/profile/heap" ||
+    fail "/profile/heap not served"
+go tool pprof -top "$BIN/heap.pprof" >/dev/null 2>&1 || fail "heap profile unparseable"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "profile smoke: OK (shapes=$SHAPES, top-shape calls=$TOPCALLS, labelled profile after $((attempt + 1)) attempt(s))"

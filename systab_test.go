@@ -293,7 +293,7 @@ func TestCreateTableRejectsSystemSchema(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "reserved") {
 		t.Fatalf("pc. table creation: %v", err)
 	}
-	if names := db.SystemTableNames(); len(names) != 10 {
+	if names := db.SystemTableNames(); len(names) != 12 {
 		t.Fatalf("system tables: %v", names)
 	}
 }

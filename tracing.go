@@ -106,10 +106,14 @@ func (db *DB) CheckSLO(targets []SLOTarget) []SLOViolation {
 // GC pauses, scan-scratch pool efficiency) every interval (<= 0 selects
 // obs.DefaultRuntimeInterval) into the bounded ring behind pc.runtime. It
 // replaces and stops any previous sampler; call StopRuntimeSampler to halt.
+// The leak sentinels (WithSentinelConfig, pc.alerts) piggyback on the
+// sampling cadence: each retained sample is evaluated against the goroutine-
+// growth, heap-growth and pool-churn watchdogs.
 func (db *DB) StartRuntimeSampler(interval time.Duration) {
 	// The sampler reads the engine's scan-scratch pool counters with every
 	// sample, so pool-efficiency regressions show up in pc.runtime.
-	old := db.runtime.Swap(obs.StartRuntimeCollector(interval, engine.ScratchPoolStats))
+	sent := obs.NewSentinels(db.sentinelCfg, db.alerts, db.logger.Load)
+	old := db.runtime.Swap(obs.StartRuntimeCollectorWith(interval, engine.ScratchPoolStats, sent))
 	old.Stop()
 }
 
